@@ -1,0 +1,20 @@
+//! # symclust-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! (see `DESIGN.md` for the per-experiment index and `EXPERIMENTS.md` for
+//! recorded outputs). The entry point is the `experiments` binary:
+//!
+//! ```text
+//! cargo run -p symclust-bench --release --bin experiments -- <experiment>
+//! ```
+//!
+//! where `<experiment>` is one of `table1`, `table2`, `fig4`, `fig5`,
+//! `fig6`, `fig7`, `fig8`, `fig9`, `table3`, `table4`, `table5`,
+//! `signtest`, `casestudy`, or `all`.
+//!
+//! Criterion micro-benchmarks for the individual kernels (SpGEMM, each
+//! symmetrization, each clusterer) live in `benches/`.
+
+pub mod runner;
+
+pub use runner::{RunRecord, SymMethod};

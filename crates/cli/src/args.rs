@@ -1,0 +1,105 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    flags: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses a flat list of `--flag value` pairs.
+    pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = &args[i];
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got '{key}'"));
+            };
+            let Some(value) = args.get(i + 1) else {
+                return Err(format!("flag --{name} is missing a value"));
+            };
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+            i += 2;
+        }
+        Ok(ParsedArgs { flags })
+    }
+
+    /// Required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Optional typed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Optional typed flag.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_value_pairs() {
+        let a = ParsedArgs::parse(&s(&["--input", "x.txt", "--k", "70"])).unwrap();
+        assert_eq!(a.required("input").unwrap(), "x.txt");
+        assert_eq!(a.get_or::<usize>("k", 0).unwrap(), 70);
+        assert_eq!(a.get_or::<usize>("missing", 5).unwrap(), 5);
+        assert_eq!(a.optional("nope"), None);
+    }
+
+    #[test]
+    fn rejects_bare_values_and_missing_values() {
+        assert!(ParsedArgs::parse(&s(&["input"])).is_err());
+        assert!(ParsedArgs::parse(&s(&["--input"])).is_err());
+        assert!(ParsedArgs::parse(&s(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn typed_parse_errors_are_reported() {
+        let a = ParsedArgs::parse(&s(&["--k", "seventy"])).unwrap();
+        assert!(a.get_or::<usize>("k", 0).is_err());
+        assert!(a.get::<f64>("k").is_err());
+        let b = ParsedArgs::parse(&s(&["--t", "0.5"])).unwrap();
+        assert_eq!(b.get::<f64>("t").unwrap(), Some(0.5));
+    }
+
+    #[test]
+    fn missing_required_flag_is_an_error() {
+        let a = ParsedArgs::parse(&[]).unwrap();
+        assert!(a.required("input").is_err());
+    }
+}

@@ -1,0 +1,402 @@
+//! Subcommand implementations for the `symclust` CLI.
+
+use crate::args::ParsedArgs;
+use crate::formats;
+use symclust_cluster::{
+    pagerank_nibble, pagerank_nibble_directed, ClusterAlgorithm, GraclusLike, MetisLike, MlrMcl,
+    NibbleOptions, SpectralClustering,
+};
+use symclust_core::{
+    select_threshold, Bibliometric, BibliometricOptions, DegreeDiscounted, DegreeDiscountedOptions,
+    DiscountExponent, PlusTranspose, RandomWalk, Symmetrizer,
+};
+use symclust_eval::avg_f_score;
+use symclust_graph::generators::{
+    kronecker_graph, shared_link_dsbm, KroneckerConfig, SharedLinkDsbmConfig,
+};
+use symclust_graph::stats::GraphStats;
+use symclust_graph::{io, DiGraph, GroundTruth, UnGraph};
+
+type CmdResult = Result<(), String>;
+
+fn read_digraph(path: &str) -> Result<DiGraph, String> {
+    io::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn read_ungraph(path: &str) -> Result<UnGraph, String> {
+    let g = read_digraph(path)?;
+    // Symmetrized edge lists store both directions; accept either and
+    // symmetrize structurally if needed.
+    let adj = g.into_adjacency();
+    if adj.is_symmetric(1e-9) {
+        Ok(UnGraph::from_symmetric_unchecked(adj))
+    } else {
+        Err(format!(
+            "{path} is not symmetric — run `symclust symmetrize` first"
+        ))
+    }
+}
+
+/// `symclust generate`.
+pub fn generate(args: &ParsedArgs) -> CmdResult {
+    let model = args.get_or("model", "dsbm".to_string())?;
+    let output = args.required("output")?;
+    let seed: u64 = args.get_or("seed", 42u64)?;
+    let nodes: Option<usize> = args.get("nodes")?;
+
+    let (graph, truth): (DiGraph, Option<GroundTruth>) = match model.as_str() {
+        "dsbm" => {
+            let cfg = SharedLinkDsbmConfig {
+                n_nodes: nodes.unwrap_or(1000),
+                n_clusters: args.get_or("clusters", 20usize)?,
+                seed,
+                ..Default::default()
+            };
+            let g = shared_link_dsbm(&cfg).map_err(|e| e.to_string())?;
+            (g.graph, Some(g.truth))
+        }
+        "kronecker" => {
+            let cfg = KroneckerConfig {
+                levels: args.get_or("levels", 12u32)?,
+                n_edges: args.get_or("edges", 40_000usize)?,
+                seed,
+                ..Default::default()
+            };
+            (kronecker_graph(&cfg).map_err(|e| e.to_string())?, None)
+        }
+        "cora" => {
+            let d = symclust_datasets::cora_like_scaled(nodes.unwrap_or(2100));
+            (d.graph, d.truth)
+        }
+        "wikipedia" => {
+            let d = symclust_datasets::wikipedia_like_scaled(nodes.unwrap_or(9000));
+            (d.graph, d.truth)
+        }
+        "flickr" => {
+            let d = symclust_datasets::flickr_like_scaled(nodes.unwrap_or(15_000));
+            (d.graph, d.truth)
+        }
+        "livejournal" => {
+            let d = symclust_datasets::livejournal_like_scaled(nodes.unwrap_or(20_000));
+            (d.graph, d.truth)
+        }
+        other => return Err(format!("unknown model '{other}'")),
+    };
+    io::write_edge_list_file(&graph, output).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} nodes / {} edges to {output}",
+        graph.n_nodes(),
+        graph.n_edges()
+    );
+    if let Some(truth_path) = args.optional("truth") {
+        match truth {
+            Some(t) => {
+                let file = std::fs::File::create(truth_path).map_err(|e| e.to_string())?;
+                formats::write_ground_truth(&t, file)?;
+                println!("wrote {} categories to {truth_path}", t.n_categories());
+            }
+            None => return Err(format!("model '{model}' has no ground truth")),
+        }
+    }
+    Ok(())
+}
+
+/// `symclust stats`.
+pub fn stats(args: &ParsedArgs) -> CmdResult {
+    let g = read_digraph(args.required("input")?)?;
+    let s = GraphStats::of(&g);
+    println!("nodes:              {}", s.n_nodes);
+    println!("edges:              {}", s.n_edges);
+    println!("% symmetric links:  {:.1}", s.percent_symmetric);
+    println!("max in-degree:      {}", s.max_in_degree);
+    println!("max out-degree:     {}", s.max_out_degree);
+    println!("mean total degree:  {:.2}", s.mean_degree);
+    println!(
+        "similarity flops:   {} (Σ dᵢ², §3.6 cost bound)",
+        g.similarity_flops()
+    );
+    Ok(())
+}
+
+/// `symclust symmetrize`.
+pub fn symmetrize(args: &ParsedArgs) -> CmdResult {
+    let g = read_digraph(args.required("input")?)?;
+    let output = args.required("output")?;
+    let method = args.get_or("method", "dd".to_string())?;
+    let alpha: f64 = args.get_or("alpha", 0.5)?;
+    let beta: f64 = args.get_or("beta", 0.5)?;
+    let mut threshold: f64 = args.get_or("threshold", 0.0)?;
+
+    // §5.3.1 sample-based threshold selection when a target degree is given.
+    if let Some(target) = args.get::<f64>("target-degree")? {
+        let opts = match method.as_str() {
+            "bib" => DegreeDiscountedOptions {
+                alpha: DiscountExponent::Power(0.0),
+                beta: DiscountExponent::Power(0.0),
+                add_identity: true,
+                ..Default::default()
+            },
+            _ => DegreeDiscountedOptions {
+                alpha: DiscountExponent::Power(alpha),
+                beta: DiscountExponent::Power(beta),
+                ..Default::default()
+            },
+        };
+        threshold = select_threshold(&g, &opts, target, 120, 7)
+            .map_err(|e| e.to_string())?
+            .threshold;
+        println!("selected threshold {threshold:.6} for target degree {target}");
+    }
+
+    let sym = match method.as_str() {
+        "aat" => PlusTranspose.symmetrize(&g),
+        "rw" => RandomWalk::default().symmetrize(&g),
+        "bib" => Bibliometric {
+            options: BibliometricOptions {
+                threshold,
+                ..Default::default()
+            },
+        }
+        .symmetrize(&g),
+        "dd" => DegreeDiscounted {
+            options: DegreeDiscountedOptions {
+                alpha: DiscountExponent::Power(alpha),
+                beta: DiscountExponent::Power(beta),
+                threshold,
+                ..Default::default()
+            },
+        }
+        .symmetrize(&g),
+        other => return Err(format!("unknown method '{other}' (aat|rw|bib|dd)")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let out_graph = DiGraph::from_adjacency(sym.adjacency().clone()).map_err(|e| e.to_string())?;
+    io::write_edge_list_file(&out_graph, output).map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} undirected edges, {} singletons, {:.3}s -> {output}",
+        sym.method(),
+        sym.n_edges(),
+        sym.n_singletons(),
+        sym.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `symclust cluster`.
+pub fn cluster(args: &ParsedArgs) -> CmdResult {
+    let g = read_ungraph(args.required("input")?)?;
+    let output = args.required("output")?;
+    let algo = args.get_or("algo", "mlrmcl".to_string())?;
+    let k: usize = args.get_or("k", 0usize)?;
+    let clustering = match algo.as_str() {
+        "mlrmcl" => {
+            let inflation: f64 = args.get_or("inflation", 2.0)?;
+            MlrMcl::with_inflation(inflation).cluster_ungraph(&g)
+        }
+        "metis" => {
+            if k == 0 {
+                return Err("--k is required for metis".into());
+            }
+            MetisLike::with_k(k).cluster_ungraph(&g)
+        }
+        "graclus" => {
+            if k == 0 {
+                return Err("--k is required for graclus".into());
+            }
+            GraclusLike::with_k(k).cluster_ungraph(&g)
+        }
+        "spectral" => {
+            if k == 0 {
+                return Err("--k is required for spectral".into());
+            }
+            SpectralClustering::with_k(k).cluster_ungraph(&g)
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    }
+    .map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(output).map_err(|e| e.to_string())?;
+    formats::write_clustering(clustering.assignments(), file)?;
+    println!(
+        "{algo}: {} clusters over {} nodes -> {output}",
+        clustering.n_clusters(),
+        clustering.n_nodes()
+    );
+    Ok(())
+}
+
+/// `symclust eval`.
+pub fn eval(args: &ParsedArgs) -> CmdResult {
+    let clusters_path = args.required("clusters")?;
+    let truth_path = args.required("truth")?;
+    let assignments =
+        formats::read_clustering(std::fs::File::open(clusters_path).map_err(|e| e.to_string())?)?;
+    let truth = formats::read_ground_truth(
+        std::fs::File::open(truth_path).map_err(|e| e.to_string())?,
+        assignments.len(),
+    )?;
+    let report = avg_f_score(&assignments, &truth);
+    println!("clusters:          {}", report.n_clusters);
+    println!("avg F-score:       {:.2}", report.avg_f);
+    let matched = report.best_match.iter().filter(|m| m.is_some()).count();
+    println!("matched clusters:  {matched}/{}", report.n_clusters);
+    Ok(())
+}
+
+/// `symclust nibble`.
+pub fn nibble(args: &ParsedArgs) -> CmdResult {
+    let input = args.required("input")?;
+    let seed_node: usize = args.get_or("seed-node", 0usize)?;
+    let directed: bool = args.get_or("directed", true)?;
+    let opts = NibbleOptions {
+        alpha: args.get_or("alpha", 0.15)?,
+        epsilon: args.get_or("epsilon", 1e-5)?,
+        max_cluster_size: args.get_or("max-size", 0usize)?,
+    };
+    let cluster = if directed {
+        let g = read_digraph(input)?;
+        pagerank_nibble_directed(&g, seed_node, &opts)
+    } else {
+        let g = read_ungraph(input)?;
+        pagerank_nibble(&g, seed_node, &opts)
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "local cluster around {seed_node}: {} members, conductance {:.4} ({} pushes)",
+        cluster.members.len(),
+        cluster.conductance,
+        cluster.pushes
+    );
+    println!("{:?}", cluster.members);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)]) -> ParsedArgs {
+        let flat: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        ParsedArgs::parse(&flat).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("symclust_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        let edges = tmp("edges.txt");
+        let truth = tmp("truth.txt");
+        let sym = tmp("sym.txt");
+        let clusters = tmp("clusters.txt");
+
+        generate(&args(&[
+            ("model", "dsbm"),
+            ("nodes", "300"),
+            ("clusters", "6"),
+            ("output", &edges),
+            ("truth", &truth),
+        ]))
+        .unwrap();
+        stats(&args(&[("input", &edges)])).unwrap();
+        symmetrize(&args(&[
+            ("input", &edges),
+            ("method", "dd"),
+            ("output", &sym),
+        ]))
+        .unwrap();
+        cluster(&args(&[
+            ("input", &sym),
+            ("algo", "metis"),
+            ("k", "6"),
+            ("output", &clusters),
+        ]))
+        .unwrap();
+        eval(&args(&[("clusters", &clusters), ("truth", &truth)])).unwrap();
+        nibble(&args(&[("input", &edges), ("seed-node", "0")])).unwrap();
+    }
+
+    #[test]
+    fn symmetrize_with_target_degree() {
+        let edges = tmp("edges2.txt");
+        let sym = tmp("sym2.txt");
+        generate(&args(&[
+            ("model", "dsbm"),
+            ("nodes", "300"),
+            ("output", &edges),
+        ]))
+        .unwrap();
+        symmetrize(&args(&[
+            ("input", &edges),
+            ("method", "dd"),
+            ("target-degree", "20"),
+            ("output", &sym),
+        ]))
+        .unwrap();
+        let g = read_ungraph(&sym).unwrap();
+        let avg = 2.0 * g.n_edges() as f64 / g.n_nodes() as f64;
+        assert!(avg < 60.0, "avg degree {avg} far above target");
+    }
+
+    #[test]
+    fn cluster_rejects_asymmetric_input() {
+        let edges = tmp("edges3.txt");
+        // A deliberately asymmetric edge list.
+        std::fs::write(&edges, "0 1\n1 2\n").unwrap();
+        let err = cluster(&args(&[
+            ("input", &edges),
+            ("algo", "metis"),
+            ("k", "2"),
+            ("output", &tmp("never.txt")),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("not symmetric"), "{err}");
+    }
+
+    #[test]
+    fn unknown_options_error_cleanly() {
+        assert!(generate(&args(&[("model", "nope"), ("output", "x")])).is_err());
+        let edges = tmp("edges4.txt");
+        std::fs::write(&edges, "0 1\n1 0\n").unwrap();
+        assert!(symmetrize(&args(&[
+            ("input", &edges),
+            ("method", "nope"),
+            ("output", &tmp("y.txt")),
+        ]))
+        .is_err());
+        assert!(cluster(&args(&[
+            ("input", &edges),
+            ("algo", "metis"),
+            ("output", &tmp("z.txt")),
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn kronecker_generate_has_no_truth() {
+        let edges = tmp("kron.txt");
+        let err = generate(&args(&[
+            ("model", "kronecker"),
+            ("levels", "8"),
+            ("edges", "500"),
+            ("output", &edges),
+            ("truth", &tmp("kron_truth.txt")),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no ground truth"), "{err}");
+        // Without --truth it succeeds.
+        generate(&args(&[
+            ("model", "kronecker"),
+            ("levels", "8"),
+            ("edges", "500"),
+            ("output", &edges),
+        ]))
+        .unwrap();
+    }
+}

@@ -1,0 +1,177 @@
+//! On-disk formats for clusterings and ground truth.
+//!
+//! *Clustering file*: one `node cluster` pair per line.
+//! *Ground-truth file*: one `node category` pair per line; nodes may appear
+//! on multiple lines (overlapping categories), and nodes that never appear
+//! are unlabeled. Lines starting with `#` are comments in both formats.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use symclust_graph::GroundTruth;
+
+/// Writes a clustering as `node cluster` lines.
+pub fn write_clustering<W: Write>(assignments: &[u32], writer: W) -> Result<(), String> {
+    let mut buf = BufWriter::new(writer);
+    writeln!(buf, "# symclust clustering: {} nodes", assignments.len())
+        .map_err(|e| e.to_string())?;
+    for (node, &c) in assignments.iter().enumerate() {
+        writeln!(buf, "{node} {c}").map_err(|e| e.to_string())?;
+    }
+    buf.flush().map_err(|e| e.to_string())
+}
+
+/// Reads a clustering written by [`write_clustering`]. Returns dense
+/// assignments indexed by node id; missing nodes default to a fresh
+/// singleton cluster.
+pub fn read_clustering<R: Read>(reader: R) -> Result<Vec<u32>, String> {
+    let mut pairs: Vec<(usize, u32)> = Vec::new();
+    let mut max_node = 0usize;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let node: usize = parts
+            .next()
+            .ok_or(format!("line {}: empty", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad node: {e}", lineno + 1))?;
+        let cluster: u32 = parts
+            .next()
+            .ok_or(format!("line {}: missing cluster", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad cluster: {e}", lineno + 1))?;
+        max_node = max_node.max(node);
+        pairs.push((node, cluster));
+    }
+    if pairs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = max_node + 1;
+    let mut assignments = vec![u32::MAX; n];
+    let mut max_cluster = 0u32;
+    for (node, c) in pairs {
+        assignments[node] = c;
+        max_cluster = max_cluster.max(c);
+    }
+    // Unlisted nodes become singletons after the listed clusters.
+    let mut next = max_cluster + 1;
+    for a in assignments.iter_mut() {
+        if *a == u32::MAX {
+            *a = next;
+            next += 1;
+        }
+    }
+    Ok(assignments)
+}
+
+/// Writes ground truth as `node category` lines.
+pub fn write_ground_truth<W: Write>(truth: &GroundTruth, writer: W) -> Result<(), String> {
+    let mut buf = BufWriter::new(writer);
+    writeln!(
+        buf,
+        "# symclust ground truth: {} nodes, {} categories",
+        truth.n_nodes(),
+        truth.n_categories()
+    )
+    .map_err(|e| e.to_string())?;
+    for (cat, members) in truth.categories().iter().enumerate() {
+        for &m in members {
+            writeln!(buf, "{m} {cat}").map_err(|e| e.to_string())?;
+        }
+    }
+    buf.flush().map_err(|e| e.to_string())
+}
+
+/// Reads ground truth written by [`write_ground_truth`]. `n_nodes` must be
+/// at least `max node id + 1`; pass 0 to infer it from the file.
+pub fn read_ground_truth<R: Read>(reader: R, n_nodes: usize) -> Result<GroundTruth, String> {
+    let mut pairs: Vec<(u32, usize)> = Vec::new();
+    let mut max_node = 0usize;
+    let mut max_cat = 0usize;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let node: usize = parts
+            .next()
+            .ok_or(format!("line {}: empty", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad node: {e}", lineno + 1))?;
+        let cat: usize = parts
+            .next()
+            .ok_or(format!("line {}: missing category", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad category: {e}", lineno + 1))?;
+        max_node = max_node.max(node);
+        max_cat = max_cat.max(cat);
+        pairs.push((node as u32, cat));
+    }
+    let n = if n_nodes == 0 { max_node + 1 } else { n_nodes };
+    let mut categories = vec![Vec::new(); max_cat + 1];
+    for (node, cat) in pairs {
+        categories[cat].push(node);
+    }
+    categories.retain(|c| !c.is_empty());
+    GroundTruth::new(n, categories).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustering_roundtrip() {
+        let assignments = vec![0u32, 1, 0, 2];
+        let mut buf = Vec::new();
+        write_clustering(&assignments, &mut buf).unwrap();
+        let back = read_clustering(buf.as_slice()).unwrap();
+        assert_eq!(back, assignments);
+    }
+
+    #[test]
+    fn clustering_missing_nodes_become_singletons() {
+        let input = "0 0\n2 0\n";
+        let back = read_clustering(input.as_bytes()).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], 0);
+        assert_eq!(back[2], 0);
+        assert_ne!(back[1], 0);
+    }
+
+    #[test]
+    fn clustering_rejects_garbage() {
+        assert!(read_clustering("abc def\n".as_bytes()).is_err());
+        assert!(read_clustering("0\n".as_bytes()).is_err());
+        assert_eq!(
+            read_clustering("# empty\n".as_bytes()).unwrap(),
+            Vec::<u32>::new()
+        );
+    }
+
+    #[test]
+    fn ground_truth_roundtrip_with_overlap() {
+        let truth = GroundTruth::new(5, vec![vec![0, 1], vec![1, 2], vec![4]]).unwrap();
+        let mut buf = Vec::new();
+        write_ground_truth(&truth, &mut buf).unwrap();
+        let back = read_ground_truth(buf.as_slice(), 5).unwrap();
+        assert_eq!(back.n_categories(), 3);
+        assert_eq!(back.members(0), &[0, 1]);
+        assert_eq!(back.members(1), &[1, 2]);
+        assert_eq!(back.node_categories()[1], vec![0, 1]);
+        // Node 3 is unlabeled.
+        assert!(back.node_categories()[3].is_empty());
+    }
+
+    #[test]
+    fn ground_truth_infers_node_count() {
+        let input = "0 0\n7 1\n";
+        let gt = read_ground_truth(input.as_bytes(), 0).unwrap();
+        assert_eq!(gt.n_nodes(), 8);
+        assert_eq!(gt.n_categories(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! Library backing the `symclust` command-line tool.
+//!
+//! The binary is a thin wrapper around [`run`]; everything (argument
+//! parsing, subcommands, file formats) lives here so it can be unit-tested
+//! without spawning processes.
+//!
+//! ```text
+//! symclust generate    --model cora --output edges.txt --truth truth.txt
+//! symclust stats       --input edges.txt
+//! symclust symmetrize  --input edges.txt --method dd --target-degree 60 --output sym.txt
+//! symclust cluster     --input sym.txt --algo metis --k 70 --output clusters.txt
+//! symclust eval        --clusters clusters.txt --truth truth.txt
+//! symclust nibble      --input edges.txt --seed-node 0
+//! ```
+
+pub mod args;
+pub mod commands;
+pub mod formats;
+
+use args::ParsedArgs;
+
+/// Entry point: dispatches a full argument vector (excluding argv\[0\]).
+/// Returns the process exit code.
+pub fn run(argv: &[String]) -> i32 {
+    let Some((subcommand, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return 2;
+    };
+    let parsed = match ParsedArgs::parse(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let result = match subcommand.as_str() {
+        "generate" => commands::generate(&parsed),
+        "stats" => commands::stats(&parsed),
+        "symmetrize" => commands::symmetrize(&parsed),
+        "cluster" => commands::cluster(&parsed),
+        "eval" => commands::eval(&parsed),
+        "nibble" => commands::nibble(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return 0;
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// The top-level usage string.
+pub fn usage() -> &'static str {
+    "symclust — clustering directed graphs by symmetrization (EDBT 2011)
+
+USAGE:
+  symclust <subcommand> [--flag value]...
+
+SUBCOMMANDS:
+  generate    synthesize a directed graph
+              --model dsbm|kronecker|cora|wikipedia|flickr|livejournal
+              --nodes N --clusters K --seed S
+              --output FILE [--truth FILE]
+  stats       print Table-1-style statistics of an edge list
+              --input FILE
+  symmetrize  transform a directed edge list into an undirected one
+              --input FILE --method aat|rw|bib|dd --output FILE
+              [--alpha A --beta B] [--threshold T | --target-degree D]
+  cluster     cluster an undirected (symmetrized) edge list
+              --input FILE --algo mlrmcl|metis|graclus|spectral
+              [--k K | --inflation I] --output FILE
+  eval        score a clustering against ground truth
+              --clusters FILE --truth FILE
+  nibble      local cluster around one node (PageRank-Nibble)
+              --input FILE --seed-node N [--directed true|false]
+  help        print this message"
+}

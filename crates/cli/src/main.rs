@@ -1,0 +1,6 @@
+//! The `symclust` command-line tool. All logic lives in `symclust_cli`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(symclust_cli::run(&argv));
+}

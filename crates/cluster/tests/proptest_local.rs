@@ -1,0 +1,80 @@
+//! Property-based tests for PageRank-Nibble local partitioning.
+
+use proptest::prelude::*;
+use symclust_cluster::local::{approximate_ppr, conductance};
+use symclust_cluster::{pagerank_nibble, NibbleOptions};
+use symclust_graph::UnGraph;
+
+fn ungraph_with_seed(max_n: usize) -> impl Strategy<Value = (UnGraph, usize)> {
+    (4..max_n).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec((0..n, 0..n), 1..(4 * n)),
+            0..n,
+        )
+            .prop_map(move |(edges, seed)| {
+                (UnGraph::from_edges(n, &edges).expect("in-bounds edges"), seed)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ppr_mass_is_a_subprobability((g, seed) in ungraph_with_seed(40)) {
+        let (p, _) = approximate_ppr(&g, seed, 0.15, 1e-4).unwrap();
+        let total: f64 = p.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9, "total mass {total}");
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn nibble_cluster_contains_connected_seed_or_is_sane((g, seed) in ungraph_with_seed(40)) {
+        let c = pagerank_nibble(&g, seed, &NibbleOptions::default()).unwrap();
+        prop_assert!(!c.members.is_empty());
+        // Members are valid, sorted, unique.
+        prop_assert!(c.members.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(c.members.iter().all(|&m| (m as usize) < g.n_nodes()));
+        prop_assert!(c.conductance >= 0.0);
+        // Reported conductance matches a fresh computation.
+        if (c.members.len() as f64) > 0.0 {
+            let phi = conductance(&g, &c.members);
+            if phi.is_finite() && c.conductance.is_finite() {
+                prop_assert!((phi - c.conductance).abs() < 1e-9,
+                    "sweep said {} but recompute gives {phi}", c.conductance);
+            }
+        }
+    }
+
+    #[test]
+    fn max_cluster_size_is_respected((g, seed) in ungraph_with_seed(40), cap in 1usize..10) {
+        let c = pagerank_nibble(
+            &g,
+            seed,
+            &NibbleOptions {
+                max_cluster_size: cap,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(c.members.len() <= cap.max(1));
+    }
+
+    #[test]
+    fn conductance_is_scale_invariant((g, seed) in ungraph_with_seed(30)) {
+        // Multiplying all edge weights by a constant must not change the
+        // nibble result (the scale-invariance bug class caught in review).
+        // A power of two keeps every float operation exact, so the runs
+        // are bit-identical rather than merely approximately equal.
+        let scaled = {
+            let mut adj = g.adjacency().clone();
+            for v in adj.values_mut() {
+                *v *= (0.5f64).powi(17);
+            }
+            UnGraph::from_symmetric_unchecked(adj)
+        };
+        let a = pagerank_nibble(&g, seed, &NibbleOptions::default()).unwrap();
+        let b = pagerank_nibble(&scaled, seed, &NibbleOptions::default()).unwrap();
+        prop_assert_eq!(a.members, b.members);
+    }
+}

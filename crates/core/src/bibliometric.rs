@@ -1,0 +1,221 @@
+//! Bibliometric symmetrization (§3.3): `U = AAᵀ + AᵀA`.
+//!
+//! `AAᵀ` is Kessler's bibliographic-coupling matrix — entry `(i, j)` counts
+//! the out-links `i` and `j` share — and `AᵀA` is Small's co-citation matrix
+//! counting shared in-links. Their sum connects exactly the node pairs with
+//! shared links, fixing the Figure-1 drawback of `A + Aᵀ`. The paper notes
+//! the combined `AAᵀ + AᵀA` had not been used for clustering before.
+//!
+//! Following the paper, `A := A + I` is applied first (configurable) so that
+//! original edges survive: with the identity added, `i → j` contributes
+//! `A(i,·)·A(j,·) ≥ A(i,j)·A(j,j) = A(i,j)` to the coupling count.
+//!
+//! On power-law graphs hub nodes make this matrix both dense and
+//! hub-dominated (§3.4/§3.5) — the motivation for degree discounting.
+
+use crate::{Result, SymmetrizedGraph, Symmetrizer};
+use std::time::Instant;
+use symclust_graph::{DiGraph, UnGraph};
+use symclust_sparse::{ops, spgemm_parallel, spgemm_thresholded, SpgemmOptions};
+
+/// Options for [`Bibliometric`].
+#[derive(Debug, Clone, Copy)]
+pub struct BibliometricOptions {
+    /// Apply `A := A + I` before multiplying (paper §3.3). Default true.
+    pub add_identity: bool,
+    /// Prune threshold applied to each product and to the final sum
+    /// (Table 2 uses e.g. 25 for Wikipedia, 0 for Cora). Default 0.
+    pub threshold: f64,
+    /// Use the crossbeam-parallel SpGEMM. Default false (deterministic
+    /// single-thread timing).
+    pub parallel: bool,
+}
+
+impl Default for BibliometricOptions {
+    fn default() -> Self {
+        BibliometricOptions {
+            add_identity: true,
+            threshold: 0.0,
+            parallel: false,
+        }
+    }
+}
+
+/// `U = AAᵀ + AᵀA` (bibliographic coupling + co-citation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bibliometric {
+    /// Execution options.
+    pub options: BibliometricOptions,
+}
+
+impl Bibliometric {
+    /// Creates the symmetrizer with a prune threshold.
+    pub fn with_threshold(threshold: f64) -> Self {
+        Bibliometric {
+            options: BibliometricOptions {
+                threshold,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn multiply(
+        &self,
+        a: &symclust_sparse::CsrMatrix,
+        b: &symclust_sparse::CsrMatrix,
+    ) -> Result<symclust_sparse::CsrMatrix> {
+        let opts = SpgemmOptions {
+            threshold: self.options.threshold,
+            drop_diagonal: true,
+            n_threads: 0,
+        };
+        let m = if self.options.parallel {
+            spgemm_parallel(a, b, &opts)?
+        } else {
+            spgemm_thresholded(a, b, &opts)?
+        };
+        Ok(m)
+    }
+}
+
+impl Symmetrizer for Bibliometric {
+    fn name(&self) -> String {
+        "Bibliometric".to_string()
+    }
+
+    fn symmetrize(&self, g: &DiGraph) -> Result<SymmetrizedGraph> {
+        let start = Instant::now();
+        let a_base = g.adjacency();
+        let a = if self.options.add_identity {
+            ops::add_diagonal(a_base, 1.0)?
+        } else {
+            a_base.clone()
+        };
+        let at = ops::transpose(&a);
+        let coupling = self.multiply(&a, &at)?; // AAᵀ
+        let cocitation = self.multiply(&at, &a)?; // AᵀA
+        let mut u = ops::add(&coupling, &cocitation)?;
+        if self.options.threshold > 0.0 {
+            u = ops::prune(&u, self.options.threshold).0;
+        }
+        let mut un = UnGraph::from_symmetric_unchecked(u);
+        if let Some(labels) = g.labels() {
+            un = un.with_labels(labels.to_vec())?;
+        }
+        Ok(SymmetrizedGraph::new(
+            un,
+            self.name(),
+            self.options.threshold,
+            start.elapsed(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symclust_graph::generators::{figure1_graph, star_graph};
+
+    fn no_identity() -> Bibliometric {
+        Bibliometric {
+            options: BibliometricOptions {
+                add_identity: false,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn connects_figure1_pair() {
+        let g = figure1_graph();
+        let s = no_identity().symmetrize(&g).unwrap();
+        // Nodes 4 and 5 share 3 out-links (6,7,8) + node 0, and 3 in-links
+        // (1,2,3) + node 0: coupling 4, co-citation 4 → weight 8.
+        assert_eq!(s.adjacency().get(4, 5), 8.0);
+    }
+
+    #[test]
+    fn counts_match_definitions() {
+        // A: 0->2, 1->2 ; coupling(0,1) = 1 shared out-link, cocitation = 0.
+        let g = DiGraph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let s = no_identity().symmetrize(&g).unwrap();
+        assert_eq!(s.adjacency().get(0, 1), 1.0);
+        // Node 2 is commonly pointed-to: cocitation(2, x) = 0 for others...
+        assert_eq!(s.adjacency().get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn add_identity_preserves_original_edges() {
+        let g = figure1_graph();
+        let without = no_identity().symmetrize(&g).unwrap();
+        // Edge 1→4 exists but 1 and 4 share no links: absent without +I.
+        assert_eq!(without.adjacency().get(1, 4), 0.0);
+        let with = Bibliometric::default().symmetrize(&g).unwrap();
+        assert!(with.adjacency().get(1, 4) > 0.0, "original edge lost");
+    }
+
+    #[test]
+    fn output_is_symmetric() {
+        let g = figure1_graph();
+        let s = Bibliometric::default().symmetrize(&g).unwrap();
+        assert!(s.adjacency().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn hub_creates_dense_rows() {
+        // Star: all leaves point at 0 → co-citation connects every leaf
+        // pair: the quadratic blow-up the paper warns about.
+        let g = star_graph(10);
+        let s = no_identity().symmetrize(&g).unwrap();
+        for i in 1..10 {
+            for j in (i + 1)..10 {
+                assert_eq!(s.adjacency().get(i, j), 1.0);
+            }
+        }
+        // 9 leaves, all pairs connected: 36 undirected edges.
+        assert_eq!(s.n_edges(), 36);
+    }
+
+    #[test]
+    fn threshold_prunes_weak_pairs() {
+        let g = figure1_graph();
+        let s = Bibliometric {
+            options: BibliometricOptions {
+                add_identity: false,
+                threshold: 3.0,
+                parallel: false,
+            },
+        }
+        .symmetrize(&g)
+        .unwrap();
+        // (4,5) has weight 8, survives; weaker pairs pruned.
+        assert_eq!(s.adjacency().get(4, 5), 8.0);
+        // (1,2) share out-links {4,5} → weight 2 < 3, pruned.
+        assert_eq!(s.adjacency().get(1, 2), 0.0);
+        assert_eq!(s.threshold(), 3.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = figure1_graph();
+        let serial = Bibliometric::default().symmetrize(&g).unwrap();
+        let parallel = Bibliometric {
+            options: BibliometricOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        }
+        .symmetrize(&g)
+        .unwrap();
+        assert_eq!(serial.adjacency(), parallel.adjacency());
+    }
+
+    #[test]
+    fn diagonal_is_dropped() {
+        let g = figure1_graph();
+        let s = Bibliometric::default().symmetrize(&g).unwrap();
+        for i in 0..g.n_nodes() {
+            assert_eq!(s.adjacency().get(i, i), 0.0);
+        }
+    }
+}

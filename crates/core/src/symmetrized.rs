@@ -1,0 +1,93 @@
+//! The output of a symmetrization: an undirected graph plus provenance.
+
+use std::time::Duration;
+use symclust_graph::UnGraph;
+use symclust_sparse::CsrMatrix;
+
+/// A symmetrized graph: the undirected similarity graph plus metadata about
+/// how it was produced, used by the experiment harness for Table 2 and the
+/// timing figures.
+#[derive(Debug, Clone)]
+pub struct SymmetrizedGraph {
+    graph: UnGraph,
+    method: String,
+    threshold: f64,
+    elapsed: Duration,
+}
+
+impl SymmetrizedGraph {
+    /// Packages a symmetrization result.
+    pub fn new(graph: UnGraph, method: String, threshold: f64, elapsed: Duration) -> Self {
+        SymmetrizedGraph {
+            graph,
+            method,
+            threshold,
+            elapsed,
+        }
+    }
+
+    /// The undirected similarity graph.
+    pub fn graph(&self) -> &UnGraph {
+        &self.graph
+    }
+
+    /// Consumes self, returning the undirected graph.
+    pub fn into_graph(self) -> UnGraph {
+        self.graph
+    }
+
+    /// The symmetric adjacency/similarity matrix.
+    pub fn adjacency(&self) -> &CsrMatrix {
+        self.graph.adjacency()
+    }
+
+    /// Name of the symmetrization method that produced this graph.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Prune threshold that was applied (0.0 when none).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Wall-clock time the symmetrization took.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.graph.n_nodes()
+    }
+
+    /// Number of undirected edges (Table 2 column).
+    pub fn n_edges(&self) -> usize {
+        self.graph.n_edges()
+    }
+
+    /// Number of isolated nodes (the paper's "singletons" diagnostic for
+    /// Bibliometric on Wikipedia, §5.3).
+    pub fn n_singletons(&self) -> usize {
+        self.graph.n_singletons()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_roundtrip() {
+        let g = UnGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let s = SymmetrizedGraph::new(g, "Test".into(), 0.5, Duration::from_millis(10));
+        assert_eq!(s.method(), "Test");
+        assert_eq!(s.threshold(), 0.5);
+        assert_eq!(s.elapsed(), Duration::from_millis(10));
+        assert_eq!(s.n_nodes(), 3);
+        assert_eq!(s.n_edges(), 1);
+        assert_eq!(s.n_singletons(), 1);
+        let g = s.into_graph();
+        assert_eq!(g.n_nodes(), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the bipartite degree-discounted extension.
+
+use proptest::prelude::*;
+use symclust_core::bipartite::{
+    bipartite_degree_discounted, BipartiteGraph, BipartiteOptions, BipartiteSide,
+};
+use symclust_core::DiscountExponent;
+
+fn bipartite(max_l: usize, max_r: usize) -> impl Strategy<Value = BipartiteGraph> {
+    (2..max_l, 2..max_r).prop_flat_map(move |(l, r)| {
+        proptest::collection::vec((0..l, 0..r), 1..(3 * (l + r))).prop_map(move |edges| {
+            BipartiteGraph::from_edges(l, r, &edges).expect("in-bounds edges")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn projections_are_symmetric_and_nonnegative(g in bipartite(20, 20)) {
+        for side in [BipartiteSide::Left, BipartiteSide::Right] {
+            let p = bipartite_degree_discounted(&g, side, &BipartiteOptions::default()).unwrap();
+            prop_assert!(p.graph().adjacency().is_symmetric(1e-9));
+            for &v in p.graph().adjacency().values() {
+                prop_assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_dimensions_match_side(g in bipartite(15, 25)) {
+        let l = bipartite_degree_discounted(&g, BipartiteSide::Left, &BipartiteOptions::default())
+            .unwrap();
+        prop_assert_eq!(l.graph().n_nodes(), g.n_left());
+        let r = bipartite_degree_discounted(&g, BipartiteSide::Right, &BipartiteOptions::default())
+            .unwrap();
+        prop_assert_eq!(r.graph().n_nodes(), g.n_right());
+    }
+
+    #[test]
+    fn undiscounted_left_projection_counts_shared_neighbors(g in bipartite(12, 12)) {
+        let opts = BipartiteOptions {
+            own_discount: DiscountExponent::Power(0.0),
+            shared_discount: DiscountExponent::Power(0.0),
+            threshold: 0.0,
+        };
+        let p = bipartite_degree_discounted(&g, BipartiteSide::Left, &opts).unwrap();
+        let b = g.biadjacency();
+        for i in 0..g.n_left() {
+            for j in (i + 1)..g.n_left() {
+                let shared: f64 = (0..g.n_right())
+                    .map(|k| b.get(i, k) * b.get(j, k))
+                    .sum();
+                prop_assert!((p.graph().adjacency().get(i, j) - shared).abs() < 1e-9,
+                    "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn discounting_never_increases_weights(g in bipartite(15, 15)) {
+        let raw = bipartite_degree_discounted(&g, BipartiteSide::Left, &BipartiteOptions {
+            own_discount: DiscountExponent::Power(0.0),
+            shared_discount: DiscountExponent::Power(0.0),
+            threshold: 0.0,
+        }).unwrap();
+        let disc = bipartite_degree_discounted(
+            &g,
+            BipartiteSide::Left,
+            &BipartiteOptions::default(),
+        )
+        .unwrap();
+        for (r, c, v) in disc.graph().adjacency().iter() {
+            prop_assert!(v <= raw.graph().adjacency().get(r, c as usize) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn threshold_prunes_monotonically(g in bipartite(15, 15), t in 0.0f64..0.5) {
+        let full = bipartite_degree_discounted(&g, BipartiteSide::Left, &BipartiteOptions::default())
+            .unwrap();
+        let pruned = bipartite_degree_discounted(&g, BipartiteSide::Left, &BipartiteOptions {
+            threshold: t,
+            ..Default::default()
+        }).unwrap();
+        prop_assert!(pruned.graph().adjacency().nnz() <= full.graph().adjacency().nnz());
+        for &v in pruned.graph().adjacency().values() {
+            prop_assert!(v >= t);
+        }
+    }
+}

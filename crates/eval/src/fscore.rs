@@ -1,0 +1,216 @@
+//! Micro-averaged best-match F-measure (§4.3 of the paper).
+//!
+//! Each output cluster `Cᵢ` is matched to the ground-truth category `Gⱼ`
+//! maximizing `F(Cᵢ, Gⱼ)`, the harmonic mean of
+//! `Prec = |Cᵢ∩Gⱼ| / |Cᵢ|` and `Rec = |Cᵢ∩Gⱼ| / |Gⱼ|`. The clustering's
+//! score is the cluster-size-weighted average of the per-cluster maxima.
+//! Note that unlabeled nodes count in `|Cᵢ|` (they depress precision), as
+//! in the paper where 35% of Wikipedia nodes have no category.
+
+use symclust_graph::GroundTruth;
+
+/// Detailed result of an F-score evaluation.
+#[derive(Debug, Clone)]
+pub struct FScoreReport {
+    /// Micro-averaged F, as a percentage in `[0, 100]` (the paper reports
+    /// e.g. 36.62 for Cora).
+    pub avg_f: f64,
+    /// Best-match F per cluster (fraction in `[0, 1]`).
+    pub per_cluster_f: Vec<f64>,
+    /// Index of the best-match category per cluster (`None` when the
+    /// cluster intersects no category).
+    pub best_match: Vec<Option<u32>>,
+    /// Number of clusters evaluated.
+    pub n_clusters: usize,
+}
+
+/// Computes the micro-averaged best-match F-score of a clustering
+/// (`assignments[node] = cluster id`, ids dense in `0..k`) against ground
+/// truth. Returns percentages per the paper's convention.
+///
+/// ```
+/// use symclust_eval::avg_f_score;
+/// use symclust_graph::GroundTruth;
+/// let truth = GroundTruth::new(4, vec![vec![0, 1], vec![2, 3]]).unwrap();
+/// let perfect = avg_f_score(&[0, 0, 1, 1], &truth);
+/// assert!((perfect.avg_f - 100.0).abs() < 1e-9);
+/// ```
+pub fn avg_f_score(assignments: &[u32], truth: &GroundTruth) -> FScoreReport {
+    assert_eq!(
+        assignments.len(),
+        truth.n_nodes(),
+        "assignment covers {} nodes but ground truth has {}",
+        assignments.len(),
+        truth.n_nodes()
+    );
+    let k = assignments
+        .iter()
+        .map(|&a| a as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in assignments {
+        cluster_sizes[a as usize] += 1;
+    }
+    let node_cats = truth.node_categories();
+    let cat_sizes: Vec<usize> = truth.categories().iter().map(Vec::len).collect();
+
+    // Overlap counting: for each cluster, accumulate per-category overlap
+    // using a sparse map (clusters touch few categories).
+    let mut overlaps: Vec<std::collections::HashMap<u32, usize>> =
+        vec![std::collections::HashMap::new(); k];
+    for (node, &a) in assignments.iter().enumerate() {
+        for &cat in &node_cats[node] {
+            *overlaps[a as usize].entry(cat).or_insert(0) += 1;
+        }
+    }
+
+    let mut per_cluster_f = vec![0.0f64; k];
+    let mut best_match = vec![None; k];
+    let mut weighted_sum = 0.0f64;
+    let mut total_size = 0usize;
+    for c in 0..k {
+        let size = cluster_sizes[c];
+        total_size += size;
+        let mut best_f = 0.0f64;
+        let mut best_cat = None;
+        for (&cat, &ov) in &overlaps[c] {
+            // F = 2·ov / (|C| + |G|)  (harmonic mean of prec and rec).
+            let f = 2.0 * ov as f64 / (size + cat_sizes[cat as usize]) as f64;
+            if f > best_f {
+                best_f = f;
+                best_cat = Some(cat);
+            }
+        }
+        per_cluster_f[c] = best_f;
+        best_match[c] = best_cat;
+        weighted_sum += size as f64 * best_f;
+    }
+    let avg_f = if total_size > 0 {
+        100.0 * weighted_sum / total_size as f64
+    } else {
+        0.0
+    };
+    FScoreReport {
+        avg_f,
+        per_cluster_f,
+        best_match,
+        n_clusters: k,
+    }
+}
+
+/// Per-node correctness indicator used by the paired sign test (§5.6): a
+/// node counts as correctly clustered when its cluster's best-match
+/// category contains it.
+pub fn correctly_clustered(assignments: &[u32], truth: &GroundTruth) -> Vec<bool> {
+    let report = avg_f_score(assignments, truth);
+    let node_cats = truth.node_categories();
+    assignments
+        .iter()
+        .enumerate()
+        .map(|(node, &a)| match report.best_match[a as usize] {
+            Some(cat) => node_cats[node].contains(&cat),
+            None => false,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_two_cats() -> GroundTruth {
+        // Categories: {0,1,2}, {3,4,5}; node 6 unlabeled.
+        GroundTruth::new(7, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap()
+    }
+
+    #[test]
+    fn perfect_clustering_on_labeled_nodes() {
+        let truth = GroundTruth::new(6, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        let report = avg_f_score(&[0, 0, 0, 1, 1, 1], &truth);
+        assert!((report.avg_f - 100.0).abs() < 1e-9);
+        assert_eq!(report.best_match, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn unlabeled_nodes_depress_precision() {
+        let truth = truth_two_cats();
+        // Node 6 (unlabeled) joins cluster 0: |C0| = 4, overlap = 3.
+        let report = avg_f_score(&[0, 0, 0, 1, 1, 1, 0], &truth);
+        let f0 = 2.0 * 3.0 / (4.0 + 3.0);
+        let f1 = 1.0;
+        let expected = 100.0 * (4.0 * f0 + 3.0 * f1) / 7.0;
+        assert!((report.avg_f - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_recall_dominated() {
+        let truth = truth_two_cats();
+        let report = avg_f_score(&[0; 7], &truth);
+        // One cluster of 7, best match either category: F = 2·3/(7+3) = 0.6.
+        assert!((report.per_cluster_f[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_f_matches_paper_definitions() {
+        // C0 = {0,1,3}: vs G0 ov=2 → F = 2·2/(3+3) = 2/3;
+        //               vs G1 ov=1 → F = 2/6 = 1/3. Best 2/3.
+        // C1 = {2,4,5}: vs G0 ov=1 → 1/3; vs G1 ov=2 → 2/3.
+        let truth = GroundTruth::new(6, vec![vec![0, 1, 2], vec![3, 4, 5]]).unwrap();
+        let report = avg_f_score(&[0, 0, 1, 0, 1, 1], &truth);
+        assert!((report.per_cluster_f[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((report.per_cluster_f[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((report.avg_f - 100.0 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_categories_use_best() {
+        // Node 1 belongs to both categories.
+        let truth = GroundTruth::new(3, vec![vec![0, 1], vec![1, 2]]).unwrap();
+        let report = avg_f_score(&[0, 0, 1], &truth);
+        // C0 = {0,1} = G0 exactly → F 1. C1 = {2}: vs G1 ov 1 → 2/(1+2).
+        assert!((report.per_cluster_f[0] - 1.0).abs() < 1e-12);
+        assert!((report.per_cluster_f[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_unlabeled_scores_zero() {
+        let truth = GroundTruth::new(3, vec![vec![0]]).unwrap();
+        let report = avg_f_score(&[0, 0, 0], &truth);
+        assert!(report.avg_f > 0.0);
+        // Clustering of only-unlabeled nodes:
+        let truth2 = GroundTruth::new(3, vec![vec![2]]).unwrap();
+        let report2 = avg_f_score(&[0, 0, 1], &truth2);
+        assert_eq!(report2.best_match[0], None);
+        assert_eq!(report2.per_cluster_f[0], 0.0);
+    }
+
+    #[test]
+    fn correctly_clustered_flags() {
+        let truth = truth_two_cats();
+        let flags = correctly_clustered(&[0, 0, 0, 1, 1, 1, 0], &truth);
+        // Nodes 0-5 are in clusters matching their categories; node 6 has
+        // no label → incorrect by definition.
+        assert_eq!(flags, vec![true, true, true, true, true, true, false]);
+        // A node placed in the wrong cluster is flagged false.
+        let flags = correctly_clustered(&[0, 0, 1, 0, 1, 1, 0], &truth);
+        assert!(!flags[2]);
+        assert!(!flags[3]);
+        assert!(flags[0] && flags[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment covers")]
+    fn mismatched_lengths_panic() {
+        let truth = truth_two_cats();
+        avg_f_score(&[0, 1], &truth);
+    }
+
+    #[test]
+    fn more_clusters_than_needed_reduces_recall() {
+        let truth = GroundTruth::new(4, vec![vec![0, 1, 2, 3]]).unwrap();
+        let whole = avg_f_score(&[0, 0, 0, 0], &truth);
+        let split = avg_f_score(&[0, 0, 1, 1], &truth);
+        assert!(whole.avg_f > split.avg_f);
+    }
+}

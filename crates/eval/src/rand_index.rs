@@ -1,0 +1,85 @@
+//! Adjusted Rand index between two hard partitions.
+//!
+//! Not used in the paper's tables (the paper's truth is overlapping, so it
+//! uses best-match F), but invaluable for this reproduction's integration
+//! tests: the DSBM generator emits a complete planted partition, and ARI
+//! against it is a stringent recovery check.
+
+use std::collections::HashMap;
+
+/// Computes the adjusted Rand index between two cluster assignments over
+/// the same nodes. 1.0 = identical partitions, ~0.0 = chance agreement.
+pub fn adjusted_rand_index(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "partitions must cover the same nodes");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    // Contingency table.
+    let mut table: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut row_sums: HashMap<u32, u64> = HashMap::new();
+    let mut col_sums: HashMap<u32, u64> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *table.entry((x, y)).or_insert(0) += 1;
+        *row_sums.entry(x).or_insert(0) += 1;
+        *col_sums.entry(y).or_insert(0) += 1;
+    }
+    fn choose2(x: u64) -> f64 {
+        (x as f64) * (x as f64 - 1.0) / 2.0
+    }
+    let sum_cells: f64 = table.values().map(|&v| choose2(v)).sum();
+    let sum_rows: f64 = row_sums.values().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = col_sums.values().map(|&v| choose2(v)).sum();
+    let total_pairs = choose2(n as u64);
+    let expected = sum_rows * sum_cols / total_pairs;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // degenerate: both partitions trivial
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        // Renaming labels does not matter.
+        let b = vec![5, 5, 9, 9, 7, 7];
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // Crossed partition of 4 nodes: ARI is negative or near zero.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 0, 1];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari <= 0.01, "ari = {ari}");
+    }
+
+    #[test]
+    fn partial_agreement_in_between() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari > 0.0 && ari < 1.0, "ari = {ari}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0], &[3]), 1.0);
+        // Both trivial single-cluster partitions.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same nodes")]
+    fn mismatched_lengths_panic() {
+        adjusted_rand_index(&[0], &[0, 1]);
+    }
+}

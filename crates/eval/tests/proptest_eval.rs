@@ -1,0 +1,136 @@
+//! Property-based tests for the evaluation suite.
+
+use proptest::prelude::*;
+use symclust_eval::signtest::{ln_binomial_tail_half, ln_choose};
+use symclust_eval::{adjusted_rand_index, avg_f_score, normalized_cut, sign_test};
+use symclust_graph::{GroundTruth, UnGraph};
+
+/// Strategy: ground truth + a clustering over the same n nodes.
+fn truth_and_clustering(max_n: usize) -> impl Strategy<Value = (GroundTruth, Vec<u32>)> {
+    (4..max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(proptest::option::of(0u32..5), n);
+        let assignment = proptest::collection::vec(0u32..6, n);
+        (labels, assignment).prop_filter_map("needs at least one label", |(labels, assignment)| {
+            if labels.iter().any(Option::is_some) {
+                let truth = GroundTruth::from_labels(&labels).ok()?;
+                // Densify assignment ids.
+                Some((truth, assignment))
+            } else {
+                None
+            }
+        })
+    })
+}
+
+fn densify(raw: &[u32]) -> Vec<u32> {
+    let mut map = std::collections::HashMap::new();
+    raw.iter()
+        .map(|&x| {
+            let next = map.len() as u32;
+            *map.entry(x).or_insert(next)
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn f_score_is_bounded((truth, raw) in truth_and_clustering(40)) {
+        let assignment = densify(&raw);
+        let report = avg_f_score(&assignment, &truth);
+        prop_assert!(report.avg_f >= 0.0);
+        prop_assert!(report.avg_f <= 100.0 + 1e-9);
+        for &f in &report.per_cluster_f {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+        }
+    }
+
+    #[test]
+    fn perfect_clustering_of_partition_scores_100(n_cats in 2usize..6, per_cat in 2usize..6) {
+        // Build a disjoint complete ground truth and the identical clustering.
+        let n = n_cats * per_cat;
+        let labels: Vec<Option<u32>> = (0..n).map(|i| Some((i / per_cat) as u32)).collect();
+        let truth = GroundTruth::from_labels(&labels).unwrap();
+        let assignment: Vec<u32> = (0..n).map(|i| (i / per_cat) as u32).collect();
+        let report = avg_f_score(&assignment, &truth);
+        prop_assert!((report.avg_f - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_clusters_cannot_beat_exact_match(n_cats in 2usize..5, per_cat in 2usize..5) {
+        let n = n_cats * per_cat;
+        let labels: Vec<Option<u32>> = (0..n).map(|i| Some((i / per_cat) as u32)).collect();
+        let truth = GroundTruth::from_labels(&labels).unwrap();
+        let exact: Vec<u32> = (0..n).map(|i| (i / per_cat) as u32).collect();
+        let merged: Vec<u32> = vec![0; n];
+        let f_exact = avg_f_score(&exact, &truth).avg_f;
+        let f_merged = avg_f_score(&merged, &truth).avg_f;
+        prop_assert!(f_exact >= f_merged);
+    }
+
+    #[test]
+    fn ari_symmetric_and_bounded(a in proptest::collection::vec(0u32..5, 4..40)) {
+        let b: Vec<u32> = a.iter().map(|&x| (x + 1) % 3).collect();
+        let ab = adjusted_rand_index(&a, &b);
+        let ba = adjusted_rand_index(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab <= 1.0 + 1e-12);
+        prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_test_p_in_unit_interval(
+        a in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let b: Vec<bool> = a.iter().map(|&x| !x).collect();
+        let r = sign_test(&a, &b);
+        prop_assert!(r.p >= 0.0 && r.p <= 1.0 + 1e-12);
+        prop_assert!(r.log10_p <= 1e-12);
+        prop_assert_eq!(r.n_improved + r.n_degraded, a.len());
+    }
+
+    #[test]
+    fn sign_test_antisymmetry(
+        a in proptest::collection::vec(any::<bool>(), 2..100),
+        b in proptest::collection::vec(any::<bool>(), 2..100),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let ab = sign_test(a, b);
+        let ba = sign_test(b, a);
+        prop_assert_eq!(ab.n_improved, ba.n_degraded);
+        prop_assert_eq!(ab.n_degraded, ba.n_improved);
+        // One-sided p-values: P(X <= d) + P(X <= i) >= 1 when i + d = n.
+        if ab.n_improved + ab.n_degraded > 0 {
+            prop_assert!(ab.p + ba.p >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn ln_choose_is_symmetric(n in 1usize..300, k in 0usize..300) {
+        prop_assume!(k <= n);
+        let a = ln_choose(n, k);
+        let b = ln_choose(n, n - k);
+        prop_assert!((a - b).abs() < 1e-6);
+        prop_assert!(a >= -1e-9);
+    }
+
+    #[test]
+    fn binomial_tail_monotone_in_k(n in 1usize..200, k in 0usize..200) {
+        prop_assume!(k < n);
+        let lo = ln_binomial_tail_half(n, k);
+        let hi = ln_binomial_tail_half(n, k + 1);
+        prop_assert!(hi >= lo - 1e-12);
+        prop_assert!(ln_binomial_tail_half(n, n) < 1e-9); // P = 1 at k = n
+    }
+
+    #[test]
+    fn ncut_nonnegative_and_zero_for_single_cluster(
+        edges in proptest::collection::vec((0usize..15, 0usize..15), 1..60),
+    ) {
+        let g = UnGraph::from_edges(15, &edges).unwrap();
+        let single = vec![0u32; 15];
+        prop_assert!(normalized_cut(&g, &single).abs() < 1e-12);
+        let split: Vec<u32> = (0..15).map(|i| (i % 3) as u32).collect();
+        prop_assert!(normalized_cut(&g, &split) >= -1e-12);
+    }
+}

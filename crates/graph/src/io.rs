@@ -1,0 +1,121 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: one `source target [weight]` triple per line, whitespace
+//! separated; lines starting with `#` or `%` are comments. Node ids are
+//! non-negative integers; the node count is `max id + 1` unless given.
+
+use crate::{DiGraph, GraphError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a directed edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<DiGraph> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut max_node = 0usize;
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| GraphError::Invalid(format!("line {}: missing source", lineno + 1)))?
+            .parse()
+            .map_err(|e| GraphError::Invalid(format!("line {}: bad source: {e}", lineno + 1)))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| GraphError::Invalid(format!("line {}: missing target", lineno + 1)))?
+            .parse()
+            .map_err(|e| GraphError::Invalid(format!("line {}: bad target: {e}", lineno + 1)))?;
+        let w: f64 = match parts.next() {
+            Some(s) => s.parse().map_err(|e| {
+                GraphError::Invalid(format!("line {}: bad weight: {e}", lineno + 1))
+            })?,
+            None => 1.0,
+        };
+        max_node = max_node.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let n = if edges.is_empty() { 0 } else { max_node + 1 };
+    DiGraph::from_weighted_edges(n, &edges)
+}
+
+/// Reads a directed edge list from a file.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<DiGraph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes a directed graph as an edge list. Weights equal to 1.0 are
+/// omitted to keep files compact.
+pub fn write_edge_list<W: Write>(g: &DiGraph, writer: W) -> Result<()> {
+    let mut buf = BufWriter::new(writer);
+    writeln!(buf, "# symclust edge list: {} nodes", g.n_nodes())?;
+    for (u, v, w) in g.edges() {
+        if w == 1.0 {
+            writeln!(buf, "{u} {v}")?;
+        } else {
+            writeln!(buf, "{u} {v} {w}")?;
+        }
+    }
+    buf.flush()?;
+    Ok(())
+}
+
+/// Writes a directed graph to a file.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &DiGraph, path: P) -> Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_basic_edge_list() {
+        let input = "# comment\n0 1\n1 2 2.5\n% another comment\n\n2 0\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.adjacency().get(1, 2), 2.5);
+        assert_eq!(g.adjacency().get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn read_empty_input() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.n_nodes(), 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn read_rejects_malformed_lines() {
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 notaweight\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = DiGraph::from_weighted_edges(4, &[(0, 1, 1.0), (1, 2, 3.5), (3, 0, 1.0)]).unwrap();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice()).unwrap();
+        assert_eq!(g2.n_nodes(), 4);
+        assert_eq!(g2.adjacency(), g.adjacency());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("symclust_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = DiGraph::from_edges(3, &[(0, 1), (2, 1)]).unwrap();
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g2.adjacency(), g.adjacency());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,286 @@
+//! Graph statistics: reciprocity, degree distributions, components.
+//!
+//! Backs Table 1 (dataset statistics), Figure 4 (degree distributions of
+//! symmetrized graphs), and the structural sanity checks in the experiment
+//! harness.
+
+use crate::{DiGraph, UnGraph};
+use symclust_sparse::ops::transpose;
+
+/// Summary statistics of a directed graph (Table 1 row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub n_nodes: usize,
+    /// Directed edge count.
+    pub n_edges: usize,
+    /// Percentage (0–100) of edges whose reverse edge also exists.
+    pub percent_symmetric: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Mean total degree (in + out).
+    pub mean_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for a directed graph.
+    pub fn of(g: &DiGraph) -> GraphStats {
+        let inn = g.in_degrees();
+        let out = g.out_degrees();
+        GraphStats {
+            n_nodes: g.n_nodes(),
+            n_edges: g.n_edges(),
+            percent_symmetric: percent_symmetric_links(g),
+            max_in_degree: inn.iter().copied().max().unwrap_or(0),
+            max_out_degree: out.iter().copied().max().unwrap_or(0),
+            mean_degree: if g.n_nodes() == 0 {
+                0.0
+            } else {
+                2.0 * g.n_edges() as f64 / g.n_nodes() as f64
+            },
+        }
+    }
+}
+
+/// Percentage (0–100) of directed edges `u → v` for which `v → u` also
+/// exists. This is the "percentage of symmetric links" column of Table 1.
+pub fn percent_symmetric_links(g: &DiGraph) -> f64 {
+    let a = g.adjacency();
+    if a.nnz() == 0 {
+        return 0.0;
+    }
+    let t = transpose(a);
+    let mut symmetric = 0usize;
+    for row in 0..a.n_rows() {
+        let fwd = a.row_indices(row);
+        let bwd = t.row_indices(row);
+        // Count intersection of sorted index lists.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < fwd.len() && j < bwd.len() {
+            match fwd[i].cmp(&bwd[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    symmetric += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    100.0 * symmetric as f64 / a.nnz() as f64
+}
+
+/// Log-binned degree histogram (Figure 4). Bin `i` covers degrees in
+/// `[2^i, 2^(i+1))`; bin 0 additionally includes degree 0 counts in
+/// `n_zero`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeHistogram {
+    /// Nodes with degree 0 (singletons after pruning).
+    pub n_zero: usize,
+    /// `bins[i]` = number of nodes with degree in `[2^i, 2^{i+1})`.
+    pub bins: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram from a degree sequence.
+    pub fn from_degrees(degrees: &[usize]) -> DegreeHistogram {
+        let mut n_zero = 0usize;
+        let mut bins: Vec<usize> = Vec::new();
+        for &d in degrees {
+            if d == 0 {
+                n_zero += 1;
+                continue;
+            }
+            let bin = usize::BITS as usize - 1 - d.leading_zeros() as usize;
+            if bin >= bins.len() {
+                bins.resize(bin + 1, 0);
+            }
+            bins[bin] += 1;
+        }
+        DegreeHistogram { n_zero, bins }
+    }
+
+    /// Builds the histogram of an undirected graph's degrees.
+    pub fn of_ungraph(g: &UnGraph) -> DegreeHistogram {
+        DegreeHistogram::from_degrees(&g.degrees())
+    }
+
+    /// Inclusive lower bound of bin `i`.
+    pub fn bin_lower(i: usize) -> usize {
+        1usize << i
+    }
+
+    /// Fraction of nodes whose degree falls in `[lo, hi]`.
+    pub fn fraction_in_range(degrees: &[usize], lo: usize, hi: usize) -> f64 {
+        if degrees.is_empty() {
+            return 0.0;
+        }
+        degrees.iter().filter(|&&d| d >= lo && d <= hi).count() as f64 / degrees.len() as f64
+    }
+}
+
+/// Weakly connected components of a directed graph via union–find.
+/// Returns `(component_id_per_node, component_count)`.
+pub fn weakly_connected_components(g: &DiGraph) -> (Vec<u32>, usize) {
+    let n = g.n_nodes();
+    let mut uf = UnionFind::new(n);
+    for (u, v, _) in g.edges() {
+        uf.union(u, v as usize);
+    }
+    uf.into_component_labels()
+}
+
+/// Connected components of an undirected graph.
+pub fn connected_components(g: &UnGraph) -> (Vec<u32>, usize) {
+    let n = g.n_nodes();
+    let mut uf = UnionFind::new(n);
+    for (u, v, _) in g.adjacency().iter() {
+        uf.union(u, v as usize);
+    }
+    uf.into_component_labels()
+}
+
+/// Union–find with path halving and union by size.
+#[derive(Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Finds the representative of `x` with path halving.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grandparent = self.parent[self.parent[x] as usize];
+            self.parent[x] = grandparent;
+            x = grandparent as usize;
+        }
+        x
+    }
+
+    /// Unions the sets containing `a` and `b`; returns true if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Converts to dense component labels `0..count`.
+    pub fn into_component_labels(mut self) -> (Vec<u32>, usize) {
+        let n = self.parent.len();
+        let mut labels = vec![u32::MAX; n];
+        let mut count = 0u32;
+        for x in 0..n {
+            let root = self.find(x);
+            if labels[root] == u32::MAX {
+                labels[root] = count;
+                count += 1;
+            }
+            labels[x] = labels[root];
+        }
+        (labels, count as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_symmetric_counts_bidirectional_pairs() {
+        // 0<->1 symmetric, 1->2 one-way: 2 of 3 edges have a reverse.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        assert!((percent_symmetric_links(&g) - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_symmetric_extremes() {
+        let none = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(percent_symmetric_links(&none), 0.0);
+        let all = DiGraph::from_edges(2, &[(0, 1), (1, 0)]).unwrap();
+        assert_eq!(percent_symmetric_links(&all), 100.0);
+        let empty = DiGraph::from_edges(2, &[]).unwrap();
+        assert_eq!(percent_symmetric_links(&empty), 0.0);
+    }
+
+    #[test]
+    fn graph_stats_table1_row() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (0, 2), (0, 3)]).unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.n_nodes, 4);
+        assert_eq!(s.n_edges, 4);
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.percent_symmetric - 50.0).abs() < 1e-9);
+        assert!((s.mean_degree - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_histogram_log_bins() {
+        // degrees: 0, 1, 2, 3, 4, 8
+        let h = DegreeHistogram::from_degrees(&[0, 1, 2, 3, 4, 8]);
+        assert_eq!(h.n_zero, 1);
+        assert_eq!(h.bins, vec![1, 2, 1, 1]); // [1,2): 1; [2,4): 2,3; [4,8): 4; [8,16): 8
+        assert_eq!(DegreeHistogram::bin_lower(3), 8);
+    }
+
+    #[test]
+    fn fraction_in_range() {
+        let degs = vec![10, 60, 100, 250, 3];
+        let f = DegreeHistogram::fraction_in_range(&degs, 50, 200);
+        assert!((f - 0.4).abs() < 1e-12);
+        assert_eq!(DegreeHistogram::fraction_in_range(&[], 0, 10), 0.0);
+    }
+
+    #[test]
+    fn weakly_connected_components_found() {
+        // 0->1, 2->3 : two components, node 4 isolated.
+        let g = DiGraph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+    }
+
+    #[test]
+    fn undirected_components() {
+        let g = UnGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[3], labels[0]);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the graph substrate and generators.
+
+use proptest::prelude::*;
+use symclust_graph::generators::{
+    kronecker_graph, shared_link_dsbm, KroneckerConfig, SharedLinkDsbmConfig,
+};
+use symclust_graph::stats::{
+    connected_components, percent_symmetric_links, weakly_connected_components, DegreeHistogram,
+};
+use symclust_graph::{io, DiGraph, GroundTruth, UnGraph};
+
+fn digraph(max_n: usize, max_edges: usize) -> impl Strategy<Value = DiGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_edges)
+            .prop_map(move |edges| DiGraph::from_edges(n, &edges).expect("in-bounds edges"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn reverse_is_involution(g in digraph(30, 150)) {
+        let rr = g.reverse().reverse();
+        prop_assert_eq!(rr.adjacency(), g.adjacency());
+    }
+
+    #[test]
+    fn reverse_swaps_degrees(g in digraph(30, 150)) {
+        let r = g.reverse();
+        prop_assert_eq!(g.in_degrees(), r.out_degrees());
+        prop_assert_eq!(g.out_degrees(), r.in_degrees());
+    }
+
+    #[test]
+    fn percent_symmetric_is_bounded_and_reverse_invariant(g in digraph(30, 150)) {
+        let p = percent_symmetric_links(&g);
+        prop_assert!((0.0..=100.0 + 1e-9).contains(&p));
+        let pr = percent_symmetric_links(&g.reverse());
+        prop_assert!((p - pr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in digraph(25, 100)) {
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = io::read_edge_list(buf.as_slice()).unwrap();
+        // Node count may shrink if trailing nodes are isolated; compare
+        // edge sets instead.
+        let edges_a: Vec<_> = g.edges().collect();
+        let edges_b: Vec<_> = g2.edges().collect();
+        prop_assert_eq!(edges_a, edges_b);
+    }
+
+    #[test]
+    fn degree_histogram_counts_everything(degrees in proptest::collection::vec(0usize..5000, 0..200)) {
+        let h = DegreeHistogram::from_degrees(&degrees);
+        let total: usize = h.n_zero + h.bins.iter().sum::<usize>();
+        prop_assert_eq!(total, degrees.len());
+    }
+
+    #[test]
+    fn components_partition_the_graph(g in digraph(40, 100)) {
+        let (labels, count) = weakly_connected_components(&g);
+        prop_assert_eq!(labels.len(), g.n_nodes());
+        let max = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+        prop_assert_eq!(max, count);
+        // Every edge joins nodes in the same component.
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(labels[u], labels[v as usize]);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edges_subset(edges in proptest::collection::vec((0usize..20, 0usize..20), 0..80)) {
+        let g = UnGraph::from_edges(20, &edges).unwrap();
+        let nodes: Vec<u32> = (0..20).filter(|i| i % 2 == 0).map(|i| i as u32).collect();
+        let sub = g.induced_subgraph(&nodes);
+        prop_assert_eq!(sub.n_nodes(), nodes.len());
+        for (u, v, w) in sub.adjacency().iter() {
+            let (gu, gv) = (nodes[u] as usize, nodes[v as usize] as usize);
+            prop_assert_eq!(g.weight(gu, gv), w);
+        }
+        let (_, sub_comp) = connected_components(&sub);
+        prop_assert!(sub_comp >= 1 || nodes.is_empty());
+    }
+
+    #[test]
+    fn ground_truth_node_categories_consistent(
+        labels in proptest::collection::vec(proptest::option::of(0u32..6), 2..50),
+    ) {
+        prop_assume!(labels.iter().any(Option::is_some));
+        let gt = GroundTruth::from_labels(&labels).unwrap();
+        let idx = gt.node_categories();
+        // Each labeled node appears in exactly the categories that list it.
+        for (c, members) in gt.categories().iter().enumerate() {
+            for &m in members {
+                prop_assert!(idx[m as usize].contains(&(c as u32)));
+            }
+        }
+        let listed: usize = gt.categories().iter().map(Vec::len).sum();
+        let from_index: usize = idx.iter().map(Vec::len).sum();
+        prop_assert_eq!(listed, from_index);
+    }
+
+    #[test]
+    fn dsbm_respects_node_budget(seed in 0u64..50) {
+        let cfg = SharedLinkDsbmConfig {
+            n_nodes: 200,
+            n_clusters: 8,
+            seed,
+            ..Default::default()
+        };
+        let g = shared_link_dsbm(&cfg).unwrap();
+        prop_assert_eq!(g.graph.n_nodes(), 200);
+        prop_assert_eq!(g.planted.len(), 200);
+        // No self-loops.
+        for (u, v, _) in g.graph.edges() {
+            prop_assert!(u != v as usize);
+        }
+        prop_assert!(g.truth.n_categories() <= 8);
+    }
+
+    #[test]
+    fn kronecker_within_budget(seed in 0u64..30) {
+        let cfg = KroneckerConfig {
+            levels: 7,
+            n_edges: 400,
+            seed,
+            ..Default::default()
+        };
+        let g = kronecker_graph(&cfg).unwrap();
+        prop_assert_eq!(g.n_nodes(), 128);
+        prop_assert!(g.n_edges() <= 400);
+    }
+}

@@ -1,0 +1,235 @@
+//! Coordinate-format (triplet) builder for sparse matrices.
+//!
+//! Graph loaders and generators push `(row, col, value)` triplets in any
+//! order, possibly with duplicates; [`CooMatrix::to_csr`] sorts, merges
+//! duplicates by summation, and produces a well-formed [`CsrMatrix`].
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::Result;
+
+/// A sparse matrix under construction, stored as unsorted triplets.
+///
+/// ```
+/// use symclust_sparse::CooMatrix;
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 1, 1.0).unwrap();
+/// coo.push(0, 1, 2.0).unwrap(); // duplicates are summed
+/// assert_eq!(coo.to_csr().get(0, 1), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `n_rows x n_cols` triplet collection.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an empty collection with room for `cap` triplets.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, cap: usize) -> Self {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of pushed triplets (duplicates not yet merged).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicate coordinates are summed when
+    /// converting to CSR.
+    ///
+    /// # Errors
+    /// Returns [`SparseError::InvalidArgument`] when the coordinate is out of
+    /// bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.n_rows || col >= self.n_cols {
+            return Err(SparseError::InvalidArgument(format!(
+                "triplet ({row}, {col}) out of bounds for {}x{} matrix",
+                self.n_rows, self.n_cols
+            )));
+        }
+        self.rows.push(row as u32);
+        self.cols.push(col as u32);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Converts to CSR, sorting triplets and summing duplicates.
+    ///
+    /// Entries that cancel to exactly 0.0 are dropped.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then per-row sort by column: O(nnz + n_rows).
+        let nnz = self.values.len();
+        let mut row_counts = vec![0usize; self.n_rows + 1];
+        for &r in &self.rows {
+            row_counts[r as usize + 1] += 1;
+        }
+        let mut row_start = row_counts;
+        for i in 0..self.n_rows {
+            row_start[i + 1] += row_start[i];
+        }
+        let indptr_unmerged = row_start.clone();
+        let mut cols_sorted = vec![0u32; nnz];
+        let mut vals_sorted = vec![0.0f64; nnz];
+        {
+            let mut cursor = row_start;
+            for i in 0..nnz {
+                let r = self.rows[i] as usize;
+                let pos = cursor[r];
+                cols_sorted[pos] = self.cols[i];
+                vals_sorted[pos] = self.values[i];
+                cursor[r] += 1;
+            }
+        }
+        // Sort each row's slice by column and merge duplicates.
+        let mut indptr = Vec::with_capacity(self.n_rows + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for row in 0..self.n_rows {
+            let lo = indptr_unmerged[row];
+            let hi = indptr_unmerged[row + 1];
+            scratch.clear();
+            scratch.extend(
+                cols_sorted[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals_sorted[lo..hi].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let col = scratch[i].0;
+                let mut sum = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == col {
+                    sum += scratch[j].1;
+                    j += 1;
+                }
+                if sum != 0.0 {
+                    indices.push(col);
+                    values.push(sum);
+                }
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw_parts_unchecked(self.n_rows, self.n_cols, indptr, indices, values)
+    }
+
+    /// Builds directly from an edge/triplet iterator.
+    pub fn from_triplets<I>(n_rows: usize, n_cols: usize, triplets: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut coo = CooMatrix::new(n_rows, n_cols);
+        for (r, c, v) in triplets {
+            coo.push(r, c, v)?;
+        }
+        Ok(coo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_coo_converts_to_empty_csr() {
+        let coo = CooMatrix::new(3, 2);
+        let csr = coo.to_csr();
+        assert_eq!(csr.n_rows(), 3);
+        assert_eq!(csr.n_cols(), 2);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(0, 1, 2.5).unwrap();
+        coo.push(1, 0, -1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 1), 3.5);
+        assert_eq!(csr.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn exact_cancellation_drops_entry() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(0, 0, -2.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_order_triplets_are_sorted() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(1, 2, 6.0).unwrap();
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(1, 0, 4.0).unwrap();
+        coo.push(0, 0, 1.0).unwrap();
+        let csr = coo.to_csr();
+        csr.validate().unwrap();
+        assert_eq!(
+            csr.to_dense(),
+            vec![vec![1.0, 2.0, 0.0], vec![4.0, 0.0, 6.0]]
+        );
+    }
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut coo = CooMatrix::new(2, 2);
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn from_triplets_builds_expected_matrix() {
+        let coo =
+            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 2.0), (0, 0, 1.0)]).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 0), 2.0);
+        assert_eq!(csr.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn with_capacity_tracks_dims() {
+        let coo = CooMatrix::with_capacity(5, 7, 100);
+        assert_eq!(coo.n_rows(), 5);
+        assert_eq!(coo.n_cols(), 7);
+        assert_eq!(coo.nnz(), 0);
+    }
+}

@@ -1,0 +1,514 @@
+//! Compressed sparse row (CSR) matrix.
+//!
+//! Invariants maintained by every constructor:
+//!
+//! * `indptr.len() == n_rows + 1`, `indptr[0] == 0`, monotone non-decreasing,
+//!   `indptr[n_rows] == indices.len() == values.len()`;
+//! * within each row, column indices are strictly increasing (sorted, no
+//!   duplicates);
+//! * every column index is `< n_cols`;
+//! * no explicit zeros are stored unless the caller inserts them via
+//!   [`CsrMatrix::from_raw_parts_unchecked`] (the arithmetic routines never
+//!   produce them except through exact cancellation, which is tolerated).
+
+use crate::error::SparseError;
+use crate::Result;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Rows are indexed `0..n_rows`, columns `0..n_cols`. Column indices are
+/// stored as `u32` to halve memory traffic on large graphs.
+///
+/// ```
+/// use symclust_sparse::CsrMatrix;
+/// let m = CsrMatrix::from_dense(&[vec![1.0, 0.0], vec![2.0, 3.0]]);
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.get(1, 0), 2.0);
+/// assert_eq!(m.mul_vec(&[1.0, 1.0]).unwrap(), vec![1.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an `n_rows x n_cols` matrix with no stored entries.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        CsrMatrix {
+            n_rows,
+            n_cols,
+            indptr: vec![0; n_rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            n_rows: n,
+            n_cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a CSR matrix from raw components, validating all invariants.
+    pub fn from_raw_parts(
+        n_rows: usize,
+        n_cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != n_rows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "indptr length {} != n_rows + 1 = {}",
+                indptr.len(),
+                n_rows + 1
+            )));
+        }
+        if indptr[0] != 0 {
+            return Err(SparseError::InvalidStructure(
+                "indptr[0] must be 0".to_string(),
+            ));
+        }
+        if *indptr.last().unwrap() != indices.len() || indices.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "indptr end {} vs indices {} vs values {}",
+                indptr.last().unwrap(),
+                indices.len(),
+                values.len()
+            )));
+        }
+        for w in indptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(SparseError::InvalidStructure(
+                    "indptr must be non-decreasing".to_string(),
+                ));
+            }
+        }
+        for row in 0..n_rows {
+            let cols = &indices[indptr[row]..indptr[row + 1]];
+            for pair in cols.windows(2) {
+                if pair[1] <= pair[0] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {row} has unsorted or duplicate column indices"
+                    )));
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last as usize >= n_cols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {row} has column index {last} >= n_cols {n_cols}"
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix from raw components without validation.
+    ///
+    /// Internal fast path for routines that construct structurally valid
+    /// output. Debug builds still verify the invariants.
+    pub fn from_raw_parts_unchecked(
+        n_rows: usize,
+        n_cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        let m = CsrMatrix {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            values,
+        };
+        debug_assert!(m.validate().is_ok(), "unchecked CSR violates invariants");
+        m
+    }
+
+    /// Re-checks all structural invariants; used by tests and debug builds.
+    pub fn validate(&self) -> Result<()> {
+        CsrMatrix::from_raw_parts(
+            self.n_rows,
+            self.n_cols,
+            self.indptr.clone(),
+            self.indices.clone(),
+            self.values.clone(),
+        )
+        .map(|_| ())
+    }
+
+    /// Builds a matrix from a dense row-major slice, skipping zeros.
+    pub fn from_dense(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut indptr = Vec::with_capacity(n_rows + 1);
+        indptr.push(0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "ragged dense input");
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    indices.push(j as u32);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw_parts_unchecked(n_rows, n_cols, indptr, indices, values)
+    }
+
+    /// Converts to a dense row-major representation (small matrices / tests).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.n_cols]; self.n_rows];
+        for row in 0..self.n_rows {
+            for (col, v) in self.row_iter(row) {
+                out[row][col as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The row-pointer array (`n_rows + 1` entries).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The column-index array.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The stored values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values (structure stays fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consumes the matrix, returning `(n_rows, n_cols, indptr, indices, values)`.
+    pub fn into_raw_parts(self) -> (usize, usize, Vec<usize>, Vec<u32>, Vec<f64>) {
+        (
+            self.n_rows,
+            self.n_cols,
+            self.indptr,
+            self.indices,
+            self.values,
+        )
+    }
+
+    /// Column indices of the stored entries in `row`.
+    #[inline]
+    pub fn row_indices(&self, row: usize) -> &[u32] {
+        &self.indices[self.indptr[row]..self.indptr[row + 1]]
+    }
+
+    /// Values of the stored entries in `row`.
+    #[inline]
+    pub fn row_values(&self, row: usize) -> &[f64] {
+        &self.values[self.indptr[row]..self.indptr[row + 1]]
+    }
+
+    /// Number of stored entries in `row`.
+    #[inline]
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.indptr[row + 1] - self.indptr[row]
+    }
+
+    /// Iterates over `(column, value)` pairs of `row`.
+    #[inline]
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.row_indices(row)
+            .iter()
+            .copied()
+            .zip(self.row_values(row).iter().copied())
+    }
+
+    /// Looks up entry `(row, col)`; returns 0.0 when not stored.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.n_rows && col < self.n_cols);
+        let cols = self.row_indices(row);
+        match cols.binary_search(&(col as u32)) {
+            Ok(pos) => self.row_values(row)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u32, f64)> + '_ {
+        (0..self.n_rows).flat_map(move |r| self.row_iter(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Matrix–vector product `y = A x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n_cols {
+            return Err(SparseError::DimensionMismatch {
+                op: "mul_vec",
+                lhs: (self.n_rows, self.n_cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.n_rows];
+        for row in 0..self.n_rows {
+            let mut acc = 0.0;
+            for (col, v) in self.row_iter(row) {
+                acc += v * x[col as usize];
+            }
+            y[row] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ x` without materializing `Aᵀ`.
+    pub fn mul_vec_transposed(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n_rows {
+            return Err(SparseError::DimensionMismatch {
+                op: "mul_vec_transposed",
+                lhs: (self.n_cols, self.n_rows),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.n_cols];
+        for row in 0..self.n_rows {
+            let xr = x[row];
+            if xr == 0.0 {
+                continue;
+            }
+            for (col, v) in self.row_iter(row) {
+                y[col as usize] += v * xr;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Out-degree-style row sums (sum of values per row).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.n_rows)
+            .map(|r| self.row_values(r).iter().sum())
+            .collect()
+    }
+
+    /// Column sums computed in one pass.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.n_cols];
+        for (_, col, v) in self.iter() {
+            sums[col as usize] += v;
+        }
+        sums
+    }
+
+    /// Number of stored entries per row.
+    pub fn row_counts(&self) -> Vec<usize> {
+        self.indptr.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Number of stored entries per column.
+    pub fn col_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_cols];
+        for &c in &self.indices {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// True if the matrix is square and numerically symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.n_rows != self.n_cols {
+            return false;
+        }
+        // Structural + numeric check via transpose comparison.
+        let t = crate::ops::transpose(self);
+        if t.indptr != self.indptr || t.indices != self.indices {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(t.values.iter())
+            .all(|(a, b)| (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0))
+    }
+
+    /// Frobenius norm of the stored entries.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::from_dense(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![3.0, 4.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let m = CsrMatrix::zeros(3, 4);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row_nnz(2), 0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn identity_is_diagonal_of_ones() {
+        let m = CsrMatrix::identity(4);
+        assert_eq!(m.nnz(), 4);
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 1.0);
+        }
+        assert!(m.is_symmetric(0.0));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(
+            m.to_dense(),
+            vec![
+                vec![1.0, 0.0, 2.0],
+                vec![0.0, 0.0, 0.0],
+                vec![3.0, 4.0, 0.0]
+            ]
+        );
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 2), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = sample();
+        let y = m.mul_vec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn mul_vec_transposed_matches_dense() {
+        let m = sample();
+        let y = m.mul_vec_transposed(&[1.0, 2.0, 3.0]).unwrap();
+        // Aᵀ x with A as in sample():
+        // col0: 1*1 + 3*3 = 10; col1: 4*3 = 12; col2: 2*1 = 2
+        assert_eq!(y, vec![10.0, 12.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_vec_rejects_bad_dims() {
+        let m = sample();
+        assert!(m.mul_vec(&[1.0]).is_err());
+        assert!(m.mul_vec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn sums_and_counts() {
+        let m = sample();
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 4.0, 2.0]);
+        assert_eq!(m.row_counts(), vec![2, 0, 2]);
+        assert_eq!(m.col_counts(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_malformed() {
+        // bad indptr length
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // indptr not starting at zero
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![1, 1], vec![], vec![]).is_err());
+        // decreasing indptr
+        assert!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err()
+        );
+        // column out of bounds
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // duplicate columns in a row
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        // unsorted columns in a row
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
+        // values/indices length mismatch
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 1], vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let sym = CsrMatrix::from_dense(&[vec![0.0, 2.0], vec![2.0, 1.0]]);
+        assert!(sym.is_symmetric(0.0));
+        let asym = CsrMatrix::from_dense(&[vec![0.0, 2.0], vec![0.0, 1.0]]);
+        assert!(!asym.is_symmetric(0.0));
+        let rect = CsrMatrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn frobenius_norm_matches_hand_computation() {
+        let m = sample();
+        let expected = (1.0f64 + 4.0 + 9.0 + 16.0).sqrt();
+        assert!((m.frobenius_norm() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_all_entries_in_row_major_order() {
+        let m = sample();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+}

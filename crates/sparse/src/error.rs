@@ -1,0 +1,85 @@
+//! Error type shared by all sparse-matrix operations.
+
+use std::fmt;
+
+/// Errors raised by sparse-matrix construction and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left-hand operand.
+        lhs: (usize, usize),
+        /// Dimensions of the right-hand operand (or expected shape).
+        rhs: (usize, usize),
+    },
+    /// The CSR structure is malformed (indptr not monotone, column index out
+    /// of bounds, unsorted or duplicate columns within a row, ...).
+    InvalidStructure(String),
+    /// A numeric routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the iterative routine.
+        what: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was outside its documented domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            SparseError::NoConvergence { what, iterations } => {
+                write!(f, "{what} failed to converge after {iterations} iterations")
+            }
+            SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SparseError::DimensionMismatch {
+            op: "spgemm",
+            lhs: (3, 4),
+            rhs: (5, 6),
+        };
+        let s = e.to_string();
+        assert!(s.contains("spgemm"));
+        assert!(s.contains("3x4"));
+        assert!(s.contains("5x6"));
+
+        let e = SparseError::NoConvergence {
+            what: "pagerank",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("pagerank"));
+        assert!(e.to_string().contains("100"));
+
+        let e = SparseError::InvalidStructure("bad indptr".into());
+        assert!(e.to_string().contains("bad indptr"));
+
+        let e = SparseError::InvalidArgument("k must be positive".into());
+        assert!(e.to_string().contains("k must be positive"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&SparseError::InvalidArgument("x".into()));
+    }
+}

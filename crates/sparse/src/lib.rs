@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Sparse linear-algebra substrate for the `symclust` workspace.
+//!
+//! This crate provides everything the symmetrization framework of
+//! *"Symmetrizations for Clustering Directed Graphs"* (EDBT 2011) needs from
+//! a linear-algebra library, built from scratch:
+//!
+//! * [`CsrMatrix`] — compressed sparse row matrices with checked invariants,
+//! * [`CooMatrix`] — a triplet builder that deduplicates on conversion,
+//! * Gustavson-style sparse matrix–matrix multiplication ([`spgemm`]),
+//!   including a thresholded variant that prunes on the fly and a
+//!   crossbeam-parallel row-partitioned variant,
+//! * diagonal scaling, transposition, element-wise combination and pruning,
+//! * [`pagerank`] — power iteration for the stationary distribution of a
+//!   random walk with teleportation (used by the Random-walk symmetrization
+//!   and by BestWCut),
+//! * [`lanczos`] — a symmetric Lanczos eigensolver with full
+//!   reorthogonalization plus an implicit-QL tridiagonal eigensolver (used by
+//!   the spectral clustering baseline).
+//!
+//! The matrix types use `u32` column indices and `f64` values; graphs of up
+//! to ~4 billion vertices are representable, far beyond what the in-memory
+//! algorithms here will be asked to handle.
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod lanczos;
+pub mod ops;
+pub mod pagerank;
+pub mod spgemm;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use lanczos::{lanczos_smallest, tridiagonal_eigen, LanczosOptions, LanczosResult};
+pub use pagerank::{pagerank, stationary_distribution, PageRankOptions, PageRankResult};
+pub use spgemm::{spgemm, spgemm_parallel, spgemm_thresholded, SpgemmOptions};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,92 @@
+//! Bipartite co-clustering: the paper's future-work extension in action.
+//!
+//! A user × item purchase graph is bipartite; the degree-discounted
+//! similarity projects it onto either side, discounting blockbuster items
+//! (everyone buys them — they say little about taste) exactly the way hub
+//! pages are discounted in the directed case. We synthesize taste
+//! communities plus blockbusters, project, cluster with MLR-MCL, and
+//! compare against the undiscounted co-occurrence projection.
+//!
+//! Run with: `cargo run --release --example bipartite_recommend`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symclust::core::bipartite::{
+    bipartite_degree_discounted, BipartiteGraph, BipartiteOptions, BipartiteSide,
+};
+use symclust::core::DiscountExponent;
+use symclust::prelude::*;
+
+fn main() {
+    // 6 taste communities of 50 users; each community has 30 niche items;
+    // 10 blockbusters bought by everyone with probability 0.8.
+    let (n_communities, users_per, items_per) = (6, 50, 30);
+    let n_users = n_communities * users_per;
+    let n_blockbusters = 10;
+    let n_items = n_communities * items_per + n_blockbusters;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut edges = Vec::new();
+    for c in 0..n_communities {
+        for u in 0..users_per {
+            let user = c * users_per + u;
+            for i in 0..items_per {
+                if rng.gen_bool(0.35) {
+                    edges.push((user, c * items_per + i));
+                }
+            }
+        }
+    }
+    for user in 0..n_users {
+        for b in 0..n_blockbusters {
+            if rng.gen_bool(0.8) {
+                edges.push((user, n_communities * items_per + b));
+            }
+        }
+    }
+    let g = BipartiteGraph::from_edges(n_users, n_items, &edges).expect("valid edges");
+    println!(
+        "bipartite graph: {} users x {} items, {} purchases",
+        g.n_left(),
+        g.n_right(),
+        g.n_edges()
+    );
+
+    for (name, own, shared) in [
+        ("co-occurrence (no discount)", 0.0, 0.0),
+        ("degree-discounted (α=β=0.5)", 0.5, 0.5),
+    ] {
+        let projection = bipartite_degree_discounted(
+            &g,
+            BipartiteSide::Left,
+            &BipartiteOptions {
+                own_discount: DiscountExponent::Power(own),
+                shared_discount: DiscountExponent::Power(shared),
+                threshold: 0.0,
+            },
+        )
+        .expect("projection succeeds");
+        let clustering = MlrMcl::with_inflation(2.0)
+            .cluster(projection.graph())
+            .expect("clustering succeeds");
+        // Score: fraction of users whose cluster majority shares their
+        // planted community.
+        let clusters = clustering.clusters();
+        let mut correct = 0usize;
+        for members in &clusters {
+            let mut counts = vec![0usize; n_communities];
+            for &m in members {
+                counts[m as usize / users_per] += 1;
+            }
+            correct += counts.iter().max().copied().unwrap_or(0);
+        }
+        println!(
+            "{name:32} -> {} clusters, majority-purity {:.2}",
+            clustering.n_clusters(),
+            correct as f64 / n_users as f64
+        );
+    }
+    println!(
+        "\nBlockbusters connect everyone in the raw co-occurrence graph;\n\
+         discounting them recovers the planted taste communities."
+    );
+}
