@@ -21,6 +21,7 @@ use symclust_core::{
 use symclust_datasets::{
     cora_like_scaled, flickr_like_scaled, livejournal_like_scaled, wikipedia_like_scaled, Dataset,
 };
+use symclust_engine::{Engine, EngineOptions, PipelineInput, PipelineSpec};
 use symclust_eval::{avg_f_score, correctly_clustered, sign_test};
 use symclust_graph::generators::{figure1_graph, guzmania_graph};
 use symclust_graph::stats::{DegreeHistogram, GraphStats};
@@ -201,33 +202,57 @@ fn fig4(cfg: &Config) {
     }
 }
 
+/// Runs a sweep through the pipeline engine: each symmetrization is
+/// computed once and shared across every clusterer via the artifact
+/// cache, chains execute on the worker pool, and the structured event
+/// stream is serialized to `bench_results/<tag>.events.jsonl`.
+fn run_sweep(tag: &str, input: PipelineInput, spec: &PipelineSpec) -> Vec<RunRecord> {
+    let engine = Engine::new(EngineOptions::default());
+    let events = std::sync::Mutex::new(String::new());
+    let result = engine.run(&input, spec, &|e| {
+        let mut buf = events.lock().unwrap();
+        buf.push_str(&e.to_json());
+        buf.push('\n');
+    });
+    for (label, err) in &result.failures {
+        eprintln!("warning: stage `{label}` failed: {err}");
+    }
+    let dir = std::path::Path::new("bench_results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{tag}.events.jsonl"));
+        if let Err(e) = std::fs::write(&path, events.into_inner().unwrap()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    eprintln!(
+        "[{tag}] engine: {} records, cache {} hits / {} misses",
+        result.records.len(),
+        result.cache.hits,
+        result.cache.misses
+    );
+    result.records
+}
+
 /// Figure 5: Avg-F vs number of clusters on Cora, for MLR-MCL (a) and
 /// Graclus (b), across all four symmetrizations.
 fn fig5(cfg: &Config) {
     let d = cfg.cora();
-    let truth = d.truth.as_ref().expect("cora has truth");
-    let mut records: Vec<RunRecord> = Vec::new();
-    for method in SymMethod::lineup(0.0, 0.0) {
-        let sym = method.symmetrize(&d.graph);
-        for inflation in [1.4, 1.7, 2.0, 2.5, 3.0] {
-            records.push(measure(
-                &d.name,
-                &method,
-                &sym,
-                Clusterer::MlrMcl { inflation },
-                Some(truth),
-            ));
-        }
-        for k in [20, 40, 70, 100, 140] {
-            records.push(measure(
-                &d.name,
-                &method,
-                &sym,
-                Clusterer::Graclus { k },
-                Some(truth),
-            ));
-        }
-    }
+    let mut clusterers: Vec<Clusterer> = [1.4, 1.7, 2.0, 2.5, 3.0]
+        .into_iter()
+        .map(|inflation| Clusterer::MlrMcl { inflation })
+        .collect();
+    clusterers.extend(
+        [20, 40, 70, 100, 140]
+            .into_iter()
+            .map(|k| Clusterer::Graclus { k }),
+    );
+    let spec = PipelineSpec {
+        methods: SymMethod::lineup(0.0, 0.0),
+        clusterers,
+        extra_prune: None,
+    };
+    let input = PipelineInput::new(d.name.clone(), d.graph, d.truth);
+    let records = run_sweep("fig5", input, &spec);
     print_records("Figure 5: Cora F-scores (MLR-MCL & Graclus)", &records);
     save_records("fig5", &records);
     summarize_best(&records);
@@ -323,7 +348,6 @@ fn fig7_fig8(cfg: &Config) {
     let d = cfg.wikipedia();
     let truth = d.truth.as_ref().expect("wikipedia has truth");
     let (bib_t, dd_t) = select_thresholds(&d.graph, 60.0);
-    let mut records: Vec<RunRecord> = Vec::new();
     let n_cats = truth.n_categories();
     let ks = [
         n_cats / 3,
@@ -332,27 +356,18 @@ fn fig7_fig8(cfg: &Config) {
         (3 * n_cats) / 2,
         2 * n_cats,
     ];
-    for method in SymMethod::lineup(bib_t, dd_t) {
-        let sym = method.symmetrize(&d.graph);
-        for inflation in [1.4, 2.0, 2.6] {
-            records.push(measure(
-                &d.name,
-                &method,
-                &sym,
-                Clusterer::MlrMcl { inflation },
-                Some(truth),
-            ));
-        }
-        for k in ks {
-            records.push(measure(
-                &d.name,
-                &method,
-                &sym,
-                Clusterer::Metis { k },
-                Some(truth),
-            ));
-        }
-    }
+    let mut clusterers: Vec<Clusterer> = [1.4, 2.0, 2.6]
+        .into_iter()
+        .map(|inflation| Clusterer::MlrMcl { inflation })
+        .collect();
+    clusterers.extend(ks.into_iter().map(|k| Clusterer::Metis { k }));
+    let spec = PipelineSpec {
+        methods: SymMethod::lineup(bib_t, dd_t),
+        clusterers,
+        extra_prune: None,
+    };
+    let input = PipelineInput::new(d.name.clone(), d.graph, d.truth);
+    let records = run_sweep("fig7_fig8", input, &spec);
     print_records(
         "Figures 7-8: Wikipedia F-scores and clustering times (MLR-MCL & Metis)",
         &records,
@@ -386,26 +401,26 @@ fn fig9(cfg: &Config) {
     let mut records: Vec<RunRecord> = Vec::new();
     for d in [cfg.flickr(), cfg.livejournal()] {
         let (_, dd_t) = select_thresholds(&d.graph, 60.0);
-        for method in [
-            SymMethod::DegreeDiscounted {
-                alpha: 0.5,
-                beta: 0.5,
-                threshold: dd_t,
-            },
-            SymMethod::PlusTranspose,
-            SymMethod::RandomWalk,
-        ] {
-            let sym = method.symmetrize(&d.graph);
-            for inflation in [1.4, 2.0, 2.6] {
-                records.push(measure(
-                    &d.name,
-                    &method,
-                    &sym,
-                    Clusterer::MlrMcl { inflation },
-                    None,
-                ));
-            }
-        }
+        let spec = PipelineSpec {
+            methods: vec![
+                SymMethod::DegreeDiscounted {
+                    alpha: 0.5,
+                    beta: 0.5,
+                    threshold: dd_t,
+                },
+                SymMethod::PlusTranspose,
+                SymMethod::RandomWalk,
+            ],
+            clusterers: [1.4, 2.0, 2.6]
+                .into_iter()
+                .map(|inflation| Clusterer::MlrMcl { inflation })
+                .collect(),
+            extra_prune: None,
+        };
+        let tag = format!("fig9_{}", d.name);
+        // Timing-only datasets: truth withheld, records carry no F-score.
+        let input = PipelineInput::new(d.name.clone(), d.graph, None);
+        records.extend(run_sweep(&tag, input, &spec));
     }
     print_records("Figure 9: clustering times on Flickr/LiveJournal", &records);
     save_records("fig9", &records);
@@ -819,7 +834,11 @@ fn sweep(cfg: &Config) {
         let g = shared_link_dsbm(cfg).expect("generate");
         let mut out = [0.0f64; 2];
         for (i, method) in [
-            SymMethod::DegreeDiscounted { alpha: 0.5, beta: 0.5, threshold: 0.0 },
+            SymMethod::DegreeDiscounted {
+                alpha: 0.5,
+                beta: 0.5,
+                threshold: 0.0,
+            },
             SymMethod::PlusTranspose,
         ]
         .iter()
@@ -836,21 +855,36 @@ fn sweep(cfg: &Config) {
     println!("(shared-link DSBM, n={n}, k=20; F via Metis)");
 
     println!("--- shared-link signal (p_signature) ---");
-    println!("{:<12} {:>8} {:>8} {:>8}", "p_signature", "DD F", "A+A' F", "gap");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "p_signature", "DD F", "A+A' F", "gap"
+    );
     for p in [0.2, 0.4, 0.6, 0.8] {
-        let (dd, pt) = run(&SharedLinkDsbmConfig { p_signature: p, ..base.clone() });
+        let (dd, pt) = run(&SharedLinkDsbmConfig {
+            p_signature: p,
+            ..base.clone()
+        });
         println!("{p:<12} {dd:>8.2} {pt:>8.2} {:>8.2}", dd - pt);
     }
 
     println!("--- intra-cluster linkage (p_intra) ---");
-    println!("{:<12} {:>8} {:>8} {:>8}", "p_intra", "DD F", "A+A' F", "gap");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "p_intra", "DD F", "A+A' F", "gap"
+    );
     for p in [0.0, 0.05, 0.15, 0.4] {
-        let (dd, pt) = run(&SharedLinkDsbmConfig { p_intra: p, ..base.clone() });
+        let (dd, pt) = run(&SharedLinkDsbmConfig {
+            p_intra: p,
+            ..base.clone()
+        });
         println!("{p:<12} {dd:>8.2} {pt:>8.2} {:>8.2}", dd - pt);
     }
 
     println!("--- hub strength (p_to_hub, 12 hubs) ---");
-    println!("{:<12} {:>8} {:>8} {:>8}", "p_to_hub", "DD F", "A+A' F", "gap");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "p_to_hub", "DD F", "A+A' F", "gap"
+    );
     for p in [0.0, 0.2, 0.5, 0.8] {
         let (dd, pt) = run(&SharedLinkDsbmConfig {
             n_hubs: 12,
@@ -861,9 +895,15 @@ fn sweep(cfg: &Config) {
     }
 
     println!("--- reciprocity (p_reciprocal) ---");
-    println!("{:<12} {:>8} {:>8} {:>8}", "p_recip", "DD F", "A+A' F", "gap");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "p_recip", "DD F", "A+A' F", "gap"
+    );
     for p in [0.0, 0.2, 0.5, 0.9] {
-        let (dd, pt) = run(&SharedLinkDsbmConfig { p_reciprocal: p, ..base.clone() });
+        let (dd, pt) = run(&SharedLinkDsbmConfig {
+            p_reciprocal: p,
+            ..base.clone()
+        });
         println!("{p:<12} {dd:>8.2} {pt:>8.2} {:>8.2}", dd - pt);
     }
 }

@@ -3,12 +3,12 @@
 use crate::args::ParsedArgs;
 use crate::formats;
 use symclust_cluster::{
-    pagerank_nibble, pagerank_nibble_directed, ClusterAlgorithm, GraclusLike, MetisLike, MlrMcl,
-    NibbleOptions, SpectralClustering,
+    pagerank_nibble, pagerank_nibble_directed, ClusterAlgorithm, NibbleOptions, SpectralClustering,
 };
-use symclust_core::{
-    select_threshold, Bibliometric, BibliometricOptions, DegreeDiscounted, DegreeDiscountedOptions,
-    DiscountExponent, PlusTranspose, RandomWalk, Symmetrizer,
+use symclust_core::{select_threshold, DegreeDiscountedOptions, DiscountExponent};
+use symclust_engine::{
+    print_records, select_thresholds, Clusterer, Engine, EngineOptions, PipelineInput,
+    PipelineSpec, SymMethod,
 };
 use symclust_eval::avg_f_score;
 use symclust_graph::generators::{
@@ -19,28 +19,44 @@ use symclust_graph::{io, DiGraph, GroundTruth, UnGraph};
 
 type CmdResult = Result<(), String>;
 
+/// Default symmetry tolerance for `read_ungraph`, overridable per
+/// subcommand with `--tolerance`.
+const DEFAULT_SYMMETRY_TOLERANCE: f64 = 1e-9;
+
 fn read_digraph(path: &str) -> Result<DiGraph, String> {
     io::read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))
 }
 
-fn read_ungraph(path: &str) -> Result<UnGraph, String> {
+fn read_ungraph(path: &str, tolerance: f64) -> Result<UnGraph, String> {
     let g = read_digraph(path)?;
     // Symmetrized edge lists store both directions; accept either and
     // symmetrize structurally if needed.
     let adj = g.into_adjacency();
     if adj.is_symmetric(1e-9) {
         Ok(UnGraph::from_symmetric_unchecked(adj))
+    } else if adj.is_symmetric(tolerance) {
+        // Asymmetry within the user's tolerance is numerical noise:
+        // canonicalize to (A + Aᵀ)/2 so downstream code sees an exactly
+        // symmetric matrix.
+        let t = symclust_sparse::ops::transpose(&adj);
+        let avg = symclust_sparse::ops::add_scaled(&adj, 0.5, &t, 0.5)
+            .map_err(|e| format!("symmetrizing {path}: {e}"))?;
+        Ok(UnGraph::from_symmetric_unchecked(avg))
     } else {
         Err(format!(
-            "{path} is not symmetric — run `symclust symmetrize` first"
+            "{path} is not symmetric (max asymmetry {:.3e} exceeds tolerance {tolerance:.3e}) — \
+             run `symclust symmetrize` first, or raise --tolerance if the \
+             asymmetry is numerical noise",
+            adj.max_asymmetry()
         ))
     }
 }
 
-/// `symclust generate`.
-pub fn generate(args: &ParsedArgs) -> CmdResult {
+/// Builds the synthetic dataset selected by `--model`/`--nodes`/`--seed`
+/// (shared by `generate` and `pipeline`). Returns the model name with the
+/// graph and optional ground truth.
+fn build_model(args: &ParsedArgs) -> Result<(String, DiGraph, Option<GroundTruth>), String> {
     let model = args.get_or("model", "dsbm".to_string())?;
-    let output = args.required("output")?;
     let seed: u64 = args.get_or("seed", 42u64)?;
     let nodes: Option<usize> = args.get("nodes")?;
 
@@ -82,6 +98,13 @@ pub fn generate(args: &ParsedArgs) -> CmdResult {
         }
         other => return Err(format!("unknown model '{other}'")),
     };
+    Ok((model, graph, truth))
+}
+
+/// `symclust generate`.
+pub fn generate(args: &ParsedArgs) -> CmdResult {
+    let output = args.required("output")?;
+    let (model, graph, truth) = build_model(args)?;
     io::write_edge_list_file(&graph, output).map_err(|e| e.to_string())?;
     println!(
         "wrote {} nodes / {} edges to {output}",
@@ -118,6 +141,26 @@ pub fn stats(args: &ParsedArgs) -> CmdResult {
     Ok(())
 }
 
+/// Maps a CLI method name onto the engine's [`SymMethod`] registry.
+fn parse_sym_method(
+    method: &str,
+    alpha: f64,
+    beta: f64,
+    threshold: f64,
+) -> Result<SymMethod, String> {
+    match method {
+        "aat" => Ok(SymMethod::PlusTranspose),
+        "rw" => Ok(SymMethod::RandomWalk),
+        "bib" => Ok(SymMethod::Bibliometric { threshold }),
+        "dd" => Ok(SymMethod::DegreeDiscounted {
+            alpha,
+            beta,
+            threshold,
+        }),
+        other => Err(format!("unknown method '{other}' (aat|rw|bib|dd)")),
+    }
+}
+
 /// `symclust symmetrize`.
 pub fn symmetrize(args: &ParsedArgs) -> CmdResult {
     let g = read_digraph(args.required("input")?)?;
@@ -148,28 +191,12 @@ pub fn symmetrize(args: &ParsedArgs) -> CmdResult {
         println!("selected threshold {threshold:.6} for target degree {target}");
     }
 
-    let sym = match method.as_str() {
-        "aat" => PlusTranspose.symmetrize(&g),
-        "rw" => RandomWalk::default().symmetrize(&g),
-        "bib" => Bibliometric {
-            options: BibliometricOptions {
-                threshold,
-                ..Default::default()
-            },
-        }
-        .symmetrize(&g),
-        "dd" => DegreeDiscounted {
-            options: DegreeDiscountedOptions {
-                alpha: DiscountExponent::Power(alpha),
-                beta: DiscountExponent::Power(beta),
-                threshold,
-                ..Default::default()
-            },
-        }
-        .symmetrize(&g),
-        other => return Err(format!("unknown method '{other}' (aat|rw|bib|dd)")),
-    }
-    .map_err(|e| e.to_string())?;
+    // Construction is delegated to the engine's method registry so the
+    // CLI, bench harness, and pipeline executor share one factory.
+    let sym = parse_sym_method(&method, alpha, beta, threshold)?
+        .build()
+        .symmetrize(&g)
+        .map_err(|e| e.to_string())?;
 
     let out_graph = DiGraph::from_adjacency(sym.adjacency().clone()).map_err(|e| e.to_string())?;
     io::write_edge_list_file(&out_graph, output).map_err(|e| e.to_string())?;
@@ -185,33 +212,24 @@ pub fn symmetrize(args: &ParsedArgs) -> CmdResult {
 
 /// `symclust cluster`.
 pub fn cluster(args: &ParsedArgs) -> CmdResult {
-    let g = read_ungraph(args.required("input")?)?;
+    let tolerance: f64 = args.get_or("tolerance", DEFAULT_SYMMETRY_TOLERANCE)?;
+    let g = read_ungraph(args.required("input")?, tolerance)?;
     let output = args.required("output")?;
     let algo = args.get_or("algo", "mlrmcl".to_string())?;
     let k: usize = args.get_or("k", 0usize)?;
+    if k == 0 && matches!(algo.as_str(), "metis" | "graclus" | "spectral") {
+        return Err(format!("--k is required for {algo}"));
+    }
+    // The paper's three main clusterers come from the engine's registry;
+    // spectral is CLI-only.
     let clustering = match algo.as_str() {
         "mlrmcl" => {
             let inflation: f64 = args.get_or("inflation", 2.0)?;
-            MlrMcl::with_inflation(inflation).cluster_ungraph(&g)
+            Clusterer::MlrMcl { inflation }.build().cluster_ungraph(&g)
         }
-        "metis" => {
-            if k == 0 {
-                return Err("--k is required for metis".into());
-            }
-            MetisLike::with_k(k).cluster_ungraph(&g)
-        }
-        "graclus" => {
-            if k == 0 {
-                return Err("--k is required for graclus".into());
-            }
-            GraclusLike::with_k(k).cluster_ungraph(&g)
-        }
-        "spectral" => {
-            if k == 0 {
-                return Err("--k is required for spectral".into());
-            }
-            SpectralClustering::with_k(k).cluster_ungraph(&g)
-        }
+        "metis" => Clusterer::Metis { k }.build().cluster_ungraph(&g),
+        "graclus" => Clusterer::Graclus { k }.build().cluster_ungraph(&g),
+        "spectral" => SpectralClustering::with_k(k).cluster_ungraph(&g),
         other => return Err(format!("unknown algorithm '{other}'")),
     }
     .map_err(|e| e.to_string())?;
@@ -222,6 +240,124 @@ pub fn cluster(args: &ParsedArgs) -> CmdResult {
         clustering.n_clusters(),
         clustering.n_nodes()
     );
+    Ok(())
+}
+
+/// `symclust pipeline`: run a full symmetrization × clusterer sweep
+/// through the concurrent engine, rendering structured events live.
+pub fn pipeline(args: &ParsedArgs) -> CmdResult {
+    // Dataset: an edge list (with optional ground truth) or a synthetic model.
+    let (name, graph, truth) = if let Some(input) = args.optional("input") {
+        let g = read_digraph(input)?;
+        let truth = match args.optional("truth") {
+            Some(path) => {
+                let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+                Some(formats::read_ground_truth(file, g.n_nodes())?)
+            }
+            None => None,
+        };
+        (input.to_string(), g, truth)
+    } else {
+        build_model(args)?
+    };
+
+    // Thresholds for the similarity methods: sample-selected toward a
+    // target average degree, or fixed via --threshold (default 0 = keep all).
+    let (bib_t, dd_t) = match args.get::<f64>("target-degree")? {
+        Some(target) => {
+            let (bib_t, dd_t) = select_thresholds(&graph, target);
+            println!("selected thresholds: bibliometric {bib_t:.6}, degree-discounted {dd_t:.6}");
+            (bib_t, dd_t)
+        }
+        None => {
+            let t: f64 = args.get_or("threshold", 0.0)?;
+            (t, t)
+        }
+    };
+
+    let k_default = truth
+        .as_ref()
+        .map(|t| t.n_categories())
+        .filter(|&k| k > 1)
+        .unwrap_or(20);
+    let k: usize = args.get_or("k", k_default)?;
+    let inflation: f64 = args.get_or("inflation", 2.0)?;
+    let clusterer_list = args.get_or("clusterers", "mlrmcl,metis".to_string())?;
+    let mut clusterers = Vec::new();
+    for c in clusterer_list.split(',').filter(|s| !s.trim().is_empty()) {
+        clusterers.push(match c.trim() {
+            "mlrmcl" => Clusterer::MlrMcl { inflation },
+            "metis" => Clusterer::Metis { k },
+            "graclus" => Clusterer::Graclus { k },
+            other => {
+                return Err(format!(
+                    "unknown clusterer '{other}' (mlrmcl|metis|graclus)"
+                ))
+            }
+        });
+    }
+    if clusterers.is_empty() {
+        return Err("--clusterers must name at least one of mlrmcl|metis|graclus".into());
+    }
+
+    let spec = PipelineSpec {
+        methods: SymMethod::lineup(bib_t, dd_t),
+        clusterers,
+        extra_prune: args.get::<f64>("prune")?,
+    };
+    let opts = EngineOptions {
+        threads: args.get_or("threads", 0usize)?,
+        stage_deadline: args
+            .get::<f64>("timeout-secs")?
+            .map(std::time::Duration::from_secs_f64),
+    };
+    let quiet: bool = args.get_or("quiet", false)?;
+
+    let engine = Engine::new(opts);
+    let input = PipelineInput::new(name, graph, truth);
+    let event_log = std::sync::Mutex::new(String::new());
+    let result = engine.run(&input, &spec, &|e| {
+        if !quiet {
+            println!("{}", e.render());
+        }
+        let mut buf = event_log.lock().unwrap();
+        buf.push_str(&e.to_json());
+        buf.push('\n');
+    });
+
+    if let Some(path) = args.optional("events") {
+        std::fs::write(path, event_log.into_inner().unwrap())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote event stream to {path}");
+    }
+    if let Some(path) = args.optional("records") {
+        let mut out = String::new();
+        for r in &result.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} records to {path}", result.records.len());
+    }
+
+    print_records("pipeline results", &result.records);
+    println!(
+        "\ncache: {} hits / {} misses; stages skipped: {}",
+        result.cache.hits, result.cache.misses, result.skipped
+    );
+    for (label, err) in &result.failures {
+        eprintln!("warning: stage `{label}` failed: {err}");
+    }
+    if result.records.is_empty() {
+        if let Some((label, err)) = result.failures.first() {
+            return Err(format!(
+                "no chain completed; first failure: `{label}`: {err}"
+            ));
+        }
+        if result.skipped > 0 {
+            return Err("no chain completed within the per-stage deadline".into());
+        }
+    }
     Ok(())
 }
 
@@ -257,7 +393,8 @@ pub fn nibble(args: &ParsedArgs) -> CmdResult {
         let g = read_digraph(input)?;
         pagerank_nibble_directed(&g, seed_node, &opts)
     } else {
-        let g = read_ungraph(input)?;
+        let tolerance: f64 = args.get_or("tolerance", DEFAULT_SYMMETRY_TOLERANCE)?;
+        let g = read_ungraph(input, tolerance)?;
         pagerank_nibble(&g, seed_node, &opts)
     }
     .map_err(|e| e.to_string())?;
@@ -339,7 +476,7 @@ mod tests {
             ("output", &sym),
         ]))
         .unwrap();
-        let g = read_ungraph(&sym).unwrap();
+        let g = read_ungraph(&sym, DEFAULT_SYMMETRY_TOLERANCE).unwrap();
         let avg = 2.0 * g.n_edges() as f64 / g.n_nodes() as f64;
         assert!(avg < 60.0, "avg degree {avg} far above target");
     }
@@ -357,6 +494,70 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("not symmetric"), "{err}");
+        // The diagnostic reports how asymmetric the input actually is.
+        assert!(err.contains("max asymmetry"), "{err}");
+        assert!(err.contains("1.000e0") || err.contains("1e0"), "{err}");
+    }
+
+    #[test]
+    fn cluster_tolerance_flag_admits_near_symmetric_input() {
+        let edges = tmp("edges_tol.txt");
+        // Symmetric structure with a small numeric mismatch: asymmetry
+        // |1.0 − 1.0001| well under a loose tolerance.
+        std::fs::write(&edges, "0 1 1.0\n1 0 1.0001\n1 2 2.0\n2 1 2.0\n").unwrap();
+        let strict = cluster(&args(&[
+            ("input", &edges),
+            ("algo", "metis"),
+            ("k", "2"),
+            ("output", &tmp("never2.txt")),
+        ]))
+        .unwrap_err();
+        assert!(strict.contains("not symmetric"), "{strict}");
+        cluster(&args(&[
+            ("input", &edges),
+            ("algo", "metis"),
+            ("k", "2"),
+            ("tolerance", "0.01"),
+            ("output", &tmp("tol_clusters.txt")),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn pipeline_sweeps_and_writes_events_and_records() {
+        let events = tmp("pipeline_events.jsonl");
+        let records = tmp("pipeline_records.jsonl");
+        pipeline(&args(&[
+            ("model", "dsbm"),
+            ("nodes", "300"),
+            ("clusters", "6"),
+            ("clusterers", "metis,graclus"),
+            ("quiet", "true"),
+            ("events", &events),
+            ("records", &records),
+        ]))
+        .unwrap();
+        // 4 methods × 2 clusterers = 8 records; cache hits keep the
+        // symmetrizations at 4 computations.
+        let recs = std::fs::read_to_string(&records).unwrap();
+        assert_eq!(recs.lines().count(), 8, "{recs}");
+        assert!(recs.lines().all(|l| l.contains("\"f_score\":")));
+        let evs = std::fs::read_to_string(&events).unwrap();
+        let hits = evs.lines().filter(|l| l.contains("\"cache_hit\"")).count();
+        assert_eq!(hits, 4, "{evs}");
+        assert!(evs.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn pipeline_rejects_unknown_clusterer() {
+        let err = pipeline(&args(&[
+            ("model", "dsbm"),
+            ("nodes", "300"),
+            ("clusterers", "metis,nope"),
+            ("quiet", "true"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown clusterer"), "{err}");
     }
 
     #[test]

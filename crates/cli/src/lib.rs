@@ -11,6 +11,7 @@
 //! symclust stats       --input edges.txt
 //! symclust symmetrize  --input edges.txt --method dd --target-degree 60 --output sym.txt
 //! symclust cluster     --input sym.txt --algo metis --k 70 --output clusters.txt
+//! symclust pipeline    --input edges.txt --truth truth.txt --clusterers mlrmcl,metis
 //! symclust eval        --clusters clusters.txt --truth truth.txt
 //! symclust nibble      --input edges.txt --seed-node 0
 //! ```
@@ -40,6 +41,7 @@ pub fn run(argv: &[String]) -> i32 {
         "stats" => commands::stats(&parsed),
         "symmetrize" => commands::symmetrize(&parsed),
         "cluster" => commands::cluster(&parsed),
+        "pipeline" => commands::pipeline(&parsed),
         "eval" => commands::eval(&parsed),
         "nibble" => commands::nibble(&parsed),
         "help" | "--help" | "-h" => {
@@ -76,7 +78,14 @@ SUBCOMMANDS:
               [--alpha A --beta B] [--threshold T | --target-degree D]
   cluster     cluster an undirected (symmetrized) edge list
               --input FILE --algo mlrmcl|metis|graclus|spectral
-              [--k K | --inflation I] --output FILE
+              [--k K | --inflation I] [--tolerance T] --output FILE
+  pipeline    sweep all four symmetrizations x clusterers concurrently,
+              computing each symmetrization once (artifact cache)
+              (--input FILE [--truth FILE] | --model NAME [--nodes N])
+              [--clusterers mlrmcl,metis,graclus] [--k K] [--inflation I]
+              [--target-degree D | --threshold T] [--prune T]
+              [--threads N] [--timeout-secs S]
+              [--events FILE] [--records FILE] [--quiet true]
   eval        score a clustering against ground truth
               --clusters FILE --truth FILE
   nibble      local cluster around one node (PageRank-Nibble)

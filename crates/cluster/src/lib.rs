@@ -55,6 +55,17 @@ pub enum ClusterError {
     Graph(symclust_graph::GraphError),
     /// Invalid configuration.
     InvalidConfig(String),
+    /// The clustering was cancelled via a
+    /// [`CancelToken`](symclust_sparse::CancelToken) (explicitly or by
+    /// deadline).
+    Cancelled,
+}
+
+impl ClusterError {
+    /// Whether this error stems from cooperative cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ClusterError::Cancelled)
+    }
 }
 
 impl std::fmt::Display for ClusterError {
@@ -63,6 +74,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Sparse(e) => write!(f, "sparse error: {e}"),
             ClusterError::Graph(e) => write!(f, "graph error: {e}"),
             ClusterError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ClusterError::Cancelled => write!(f, "clustering cancelled"),
         }
     }
 }
@@ -71,7 +83,10 @@ impl std::error::Error for ClusterError {}
 
 impl From<symclust_sparse::SparseError> for ClusterError {
     fn from(e: symclust_sparse::SparseError) -> Self {
-        ClusterError::Sparse(e)
+        match e {
+            symclust_sparse::SparseError::Cancelled => ClusterError::Cancelled,
+            e => ClusterError::Sparse(e),
+        }
     }
 }
 
@@ -112,6 +127,21 @@ pub trait ClusterAlgorithm {
 
     /// Clusters the undirected graph.
     fn cluster_ungraph(&self, g: &UnGraph) -> Result<Clustering>;
+
+    /// [`cluster_ungraph`](Self::cluster_ungraph) with cooperative
+    /// cancellation.
+    ///
+    /// The default implementation only checks the token before starting —
+    /// fine for the fast partitioners. [`MlrMcl`] overrides it to poll
+    /// between R-MCL iterations, so long flows stop promptly.
+    fn cluster_ungraph_cancellable(
+        &self,
+        g: &UnGraph,
+        token: &symclust_sparse::CancelToken,
+    ) -> Result<Clustering> {
+        token.checkpoint()?;
+        self.cluster_ungraph(g)
+    }
 
     /// Clusters anything viewable as an undirected graph (ergonomic entry
     /// point; accepts `&UnGraph` or `&SymmetrizedGraph`).

@@ -207,6 +207,10 @@ pub fn expand_inflate_prune(m: &CsrMatrix, m_g: &CsrMatrix, opts: &MclOptions) -
 }
 
 /// Row-parallel variant of [`expand_inflate_prune`]: output rows are split
+/// One worker's share of the parallel flow matrix: `(indptr deltas,
+/// indices, values)` for its contiguous row chunk.
+type FlowChunk = (Vec<usize>, Vec<u32>, Vec<f64>);
+
 /// into contiguous chunks processed by crossbeam scoped threads, each with
 /// its own accumulator. Falls back to the serial kernel for small inputs or
 /// single-thread environments. Produces the same output as the serial
@@ -227,8 +231,7 @@ pub fn expand_inflate_prune_parallel(
         return expand_inflate_prune(m, m_g, opts);
     }
     let chunk = n.div_ceil(n_threads);
-    let mut results: Vec<Option<(Vec<usize>, Vec<u32>, Vec<f64>)>> =
-        (0..n_threads).map(|_| None).collect();
+    let mut results: Vec<Option<FlowChunk>> = (0..n_threads).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..n_threads {
@@ -377,11 +380,37 @@ pub fn rmcl_iterate(
     opts: &MclOptions,
     max_iter: usize,
 ) -> Result<(CsrMatrix, usize, bool)> {
+    rmcl_iterate_with(m_g, m0, opts, max_iter, None)
+}
+
+/// [`rmcl_iterate`] that polls `token` before every expand-inflate-prune
+/// step, so a runaway flow computation stops within one iteration of the
+/// token tripping.
+pub fn rmcl_iterate_cancellable(
+    m_g: &CsrMatrix,
+    m0: CsrMatrix,
+    opts: &MclOptions,
+    max_iter: usize,
+    token: &symclust_sparse::CancelToken,
+) -> Result<(CsrMatrix, usize, bool)> {
+    rmcl_iterate_with(m_g, m0, opts, max_iter, Some(token))
+}
+
+pub(crate) fn rmcl_iterate_with(
+    m_g: &CsrMatrix,
+    m0: CsrMatrix,
+    opts: &MclOptions,
+    max_iter: usize,
+    token: Option<&symclust_sparse::CancelToken>,
+) -> Result<(CsrMatrix, usize, bool)> {
     let mut m = m0;
     let mut prev_assignment: Option<Vec<u32>> = None;
     let mut stable = 0usize;
     let mut iterations = 0usize;
     for iter in 1..=max_iter {
+        if let Some(t) = token {
+            t.checkpoint()?;
+        }
         iterations = iter;
         m = expand_inflate_prune(&m, m_g, opts);
         let assignment = extract_clusters(&m).assignments().to_vec();

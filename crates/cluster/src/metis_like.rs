@@ -38,7 +38,7 @@ impl Default for MetisOptions {
             k: 8,
             imbalance: 0.10,
             refine_passes: 4,
-            seed: 0x11E715,
+            seed: 0x11E716,
         }
     }
 }
@@ -371,7 +371,8 @@ pub fn best_initial_partition(
     refine_passes: usize,
     seed: u64,
 ) -> Vec<u32> {
-    let mut rb = recursive_bisection_partition(g, vertex_weights, k, imbalance, refine_passes, seed);
+    let mut rb =
+        recursive_bisection_partition(g, vertex_weights, k, imbalance, refine_passes, seed);
     kway_refine(g, vertex_weights, &mut rb, k, imbalance, 1, seed ^ 21);
     let mut rg = region_growing_partition(g, vertex_weights, k, seed);
     kway_refine(g, vertex_weights, &mut rg, k, imbalance, 1, seed ^ 22);

@@ -10,10 +10,10 @@
 
 use crate::clustering::Clustering;
 use crate::coarsen::{coarsen_graph, CoarsenOptions};
-use crate::mcl::{canonical_flow_capped, extract_clusters, rmcl_iterate, MclOptions};
+use crate::mcl::{canonical_flow_capped, extract_clusters, rmcl_iterate_with, MclOptions};
 use crate::{ClusterAlgorithm, ClusterError, Result};
 use symclust_graph::UnGraph;
-use symclust_sparse::CsrMatrix;
+use symclust_sparse::{CancelToken, CsrMatrix};
 
 /// Options for [`MlrMcl`].
 #[derive(Debug, Clone, Copy)]
@@ -98,8 +98,8 @@ fn project_flow(coarse_flow: &CsrMatrix, map: &[u32], n_fine: usize) -> CsrMatri
     let mut indices: Vec<u32> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
     let mut scratch: Vec<(u32, f64)> = Vec::new();
-    for fine in 0..n_fine {
-        let parent = map[fine] as usize;
+    for &fine_parent in map.iter().take(n_fine) {
+        let parent = fine_parent as usize;
         scratch.clear();
         for (cj, v) in coarse_flow.row_iter(parent) {
             let cj = cj as usize;
@@ -125,12 +125,8 @@ fn project_flow(coarse_flow: &CsrMatrix, map: &[u32], n_fine: usize) -> CsrMatri
     CsrMatrix::from_raw_parts_unchecked(n_fine, n_fine, indptr, indices, values)
 }
 
-impl ClusterAlgorithm for MlrMcl {
-    fn name(&self) -> String {
-        "MLR-MCL".to_string()
-    }
-
-    fn cluster_ungraph(&self, g: &UnGraph) -> Result<Clustering> {
+impl MlrMcl {
+    fn cluster_with(&self, g: &UnGraph, token: Option<&CancelToken>) -> Result<Clustering> {
         if self.options.mcl.inflation <= 1.0 {
             return Err(ClusterError::InvalidConfig(format!(
                 "inflation must exceed 1.0, got {}",
@@ -140,20 +136,27 @@ impl ClusterAlgorithm for MlrMcl {
         if g.n_nodes() == 0 {
             return Ok(Clustering::single_cluster(0));
         }
+        if let Some(t) = token {
+            t.checkpoint()?;
+        }
         let levels = coarsen_graph(g, &self.options.coarsen)?;
 
         // R-MCL to convergence on the coarsest graph.
         let coarsest = levels.last().map(|l| &l.graph).unwrap_or(g);
         let m_g_coarse = canonical_flow_capped(coarsest, self.options.mcl.max_graph_row_nnz);
-        let (mut flow, _, _) = rmcl_iterate(
+        let (mut flow, _, _) = rmcl_iterate_with(
             &m_g_coarse,
             m_g_coarse.clone(),
             &self.options.mcl,
             self.options.mcl.max_iter,
+            token,
         )?;
 
         // Walk back up the hierarchy, refining at each level.
         for level_idx in (0..levels.len()).rev() {
+            if let Some(t) = token {
+                t.checkpoint()?;
+            }
             let fine_graph = if level_idx == 0 {
                 g
             } else {
@@ -167,10 +170,25 @@ impl ClusterAlgorithm for MlrMcl {
             } else {
                 self.options.iterations_per_level
             };
-            let (refined, _, _) = rmcl_iterate(&m_g_fine, projected, &self.options.mcl, iters)?;
+            let (refined, _, _) =
+                rmcl_iterate_with(&m_g_fine, projected, &self.options.mcl, iters, token)?;
             flow = refined;
         }
         Ok(extract_clusters(&flow))
+    }
+}
+
+impl ClusterAlgorithm for MlrMcl {
+    fn name(&self) -> String {
+        "MLR-MCL".to_string()
+    }
+
+    fn cluster_ungraph(&self, g: &UnGraph) -> Result<Clustering> {
+        self.cluster_with(g, None)
+    }
+
+    fn cluster_ungraph_cancellable(&self, g: &UnGraph, token: &CancelToken) -> Result<Clustering> {
+        self.cluster_with(g, Some(token))
     }
 }
 
@@ -278,5 +296,27 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(MlrMcl::default().name(), "MLR-MCL");
+    }
+
+    #[test]
+    fn cancelled_token_aborts_clustering() {
+        let g = clique_ring(8, 6);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = MlrMcl::default()
+            .cluster_ungraph_cancellable(&g, &token)
+            .unwrap_err();
+        assert!(err.is_cancelled(), "got {err:?}");
+    }
+
+    #[test]
+    fn live_token_matches_plain_clustering() {
+        let g = clique_ring(8, 6);
+        let token = CancelToken::new();
+        let with_token = MlrMcl::default()
+            .cluster_ungraph_cancellable(&g, &token)
+            .unwrap();
+        let plain = MlrMcl::default().cluster_ungraph(&g).unwrap();
+        assert_eq!(with_token.assignments(), plain.assignments());
     }
 }

@@ -7,13 +7,14 @@ use symclust_graph::UnGraph;
 
 fn ungraph_with_seed(max_n: usize) -> impl Strategy<Value = (UnGraph, usize)> {
     (4..max_n).prop_flat_map(move |n| {
-        (
-            proptest::collection::vec((0..n, 0..n), 1..(4 * n)),
-            0..n,
+        (proptest::collection::vec((0..n, 0..n), 1..(4 * n)), 0..n).prop_map(
+            move |(edges, seed)| {
+                (
+                    UnGraph::from_edges(n, &edges).expect("in-bounds edges"),
+                    seed,
+                )
+            },
         )
-            .prop_map(move |(edges, seed)| {
-                (UnGraph::from_edges(n, &edges).expect("in-bounds edges"), seed)
-            })
     })
 }
 

@@ -16,7 +16,9 @@
 use crate::{Result, SymmetrizedGraph, Symmetrizer};
 use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
-use symclust_sparse::{ops, spgemm_parallel, spgemm_thresholded, SpgemmOptions};
+use symclust_sparse::{
+    ops, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, CancelToken, SpgemmOptions,
+};
 
 /// Options for [`Bibliometric`].
 #[derive(Debug, Clone, Copy)]
@@ -63,27 +65,26 @@ impl Bibliometric {
         &self,
         a: &symclust_sparse::CsrMatrix,
         b: &symclust_sparse::CsrMatrix,
+        token: Option<&CancelToken>,
     ) -> Result<symclust_sparse::CsrMatrix> {
         let opts = SpgemmOptions {
             threshold: self.options.threshold,
             drop_diagonal: true,
-            n_threads: 0,
+            n_threads: if self.options.parallel { 0 } else { 1 },
         };
-        let m = if self.options.parallel {
-            spgemm_parallel(a, b, &opts)?
-        } else {
-            spgemm_thresholded(a, b, &opts)?
+        let m = match token {
+            Some(t) => spgemm_cancellable(a, b, &opts, t)?,
+            None if self.options.parallel => spgemm_parallel(a, b, &opts)?,
+            None => spgemm_thresholded(a, b, &opts)?,
         };
         Ok(m)
     }
-}
 
-impl Symmetrizer for Bibliometric {
-    fn name(&self) -> String {
-        "Bibliometric".to_string()
-    }
-
-    fn symmetrize(&self, g: &DiGraph) -> Result<SymmetrizedGraph> {
+    fn symmetrize_with(
+        &self,
+        g: &DiGraph,
+        token: Option<&CancelToken>,
+    ) -> Result<SymmetrizedGraph> {
         let start = Instant::now();
         let a_base = g.adjacency();
         let a = if self.options.add_identity {
@@ -92,8 +93,8 @@ impl Symmetrizer for Bibliometric {
             a_base.clone()
         };
         let at = ops::transpose(&a);
-        let coupling = self.multiply(&a, &at)?; // AAᵀ
-        let cocitation = self.multiply(&at, &a)?; // AᵀA
+        let coupling = self.multiply(&a, &at, token)?; // AAᵀ
+        let cocitation = self.multiply(&at, &a, token)?; // AᵀA
         let mut u = ops::add(&coupling, &cocitation)?;
         if self.options.threshold > 0.0 {
             u = ops::prune(&u, self.options.threshold).0;
@@ -111,6 +112,20 @@ impl Symmetrizer for Bibliometric {
     }
 }
 
+impl Symmetrizer for Bibliometric {
+    fn name(&self) -> String {
+        "Bibliometric".to_string()
+    }
+
+    fn symmetrize(&self, g: &DiGraph) -> Result<SymmetrizedGraph> {
+        self.symmetrize_with(g, None)
+    }
+
+    fn symmetrize_cancellable(&self, g: &DiGraph, token: &CancelToken) -> Result<SymmetrizedGraph> {
+        self.symmetrize_with(g, Some(token))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +138,22 @@ mod tests {
                 ..Default::default()
             },
         }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_and_live_token_matches() {
+        let g = figure1_graph();
+        let token = CancelToken::new();
+        let same = Bibliometric::default()
+            .symmetrize_cancellable(&g, &token)
+            .unwrap();
+        let plain = Bibliometric::default().symmetrize(&g).unwrap();
+        assert_eq!(same.adjacency(), plain.adjacency());
+        token.cancel();
+        let err = Bibliometric::default()
+            .symmetrize_cancellable(&g, &token)
+            .unwrap_err();
+        assert!(err.is_cancelled(), "got {err:?}");
     }
 
     #[test]

@@ -25,7 +25,10 @@
 use crate::{Result, SymmetrizeError, SymmetrizedGraph, Symmetrizer};
 use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
-use symclust_sparse::{ops, spgemm_parallel, spgemm_thresholded, CsrMatrix, SpgemmOptions};
+use symclust_sparse::{
+    ops, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, CancelToken, CsrMatrix,
+    SpgemmOptions,
+};
 
 /// How a node's degree discounts its similarity contributions (Table 4 rows).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -215,21 +218,37 @@ impl SimilarityFactors {
     /// this is the same flavor of approximation the paper accepts by pruning
     /// during the similarity computation, §3.5/§3.6.)
     pub fn full(&self, threshold: f64, parallel: bool) -> Result<CsrMatrix> {
+        self.full_with(threshold, parallel, None)
+    }
+
+    /// [`full`](Self::full) that polls `token` inside the SpGEMM row loops.
+    pub fn full_cancellable(
+        &self,
+        threshold: f64,
+        parallel: bool,
+        token: &CancelToken,
+    ) -> Result<CsrMatrix> {
+        self.full_with(threshold, parallel, Some(token))
+    }
+
+    fn full_with(
+        &self,
+        threshold: f64,
+        parallel: bool,
+        token: Option<&CancelToken>,
+    ) -> Result<CsrMatrix> {
         let opts = SpgemmOptions {
             threshold: threshold / 2.0,
             drop_diagonal: true,
-            n_threads: 0,
+            n_threads: if parallel { 0 } else { 1 },
         };
-        let bd = if parallel {
-            spgemm_parallel(&self.x, &self.xt, &opts)?
-        } else {
-            spgemm_thresholded(&self.x, &self.xt, &opts)?
+        let multiply = |a: &CsrMatrix, b: &CsrMatrix| match token {
+            Some(t) => spgemm_cancellable(a, b, &opts, t),
+            None if parallel => spgemm_parallel(a, b, &opts),
+            None => spgemm_thresholded(a, b, &opts),
         };
-        let cd = if parallel {
-            spgemm_parallel(&self.y, &self.yt, &opts)?
-        } else {
-            spgemm_thresholded(&self.y, &self.yt, &opts)?
-        };
+        let bd = multiply(&self.x, &self.xt)?;
+        let cd = multiply(&self.y, &self.yt)?;
         let mut u = ops::add(&bd, &cd)?;
         if threshold > 0.0 {
             u = ops::prune(&u, threshold).0;
@@ -238,12 +257,12 @@ impl SimilarityFactors {
     }
 }
 
-impl Symmetrizer for DegreeDiscounted {
-    fn name(&self) -> String {
-        "Degree-discounted".to_string()
-    }
-
-    fn symmetrize(&self, g: &DiGraph) -> Result<SymmetrizedGraph> {
+impl DegreeDiscounted {
+    fn symmetrize_with(
+        &self,
+        g: &DiGraph,
+        token: Option<&CancelToken>,
+    ) -> Result<SymmetrizedGraph> {
         if let DiscountExponent::Power(p) = self.options.alpha {
             if p < 0.0 {
                 return Err(SymmetrizeError::InvalidConfig(format!(
@@ -260,7 +279,7 @@ impl Symmetrizer for DegreeDiscounted {
         }
         let start = Instant::now();
         let factors = SimilarityFactors::build(g, &self.options)?;
-        let u = factors.full(self.options.threshold, self.options.parallel)?;
+        let u = factors.full_with(self.options.threshold, self.options.parallel, token)?;
         let mut un = UnGraph::from_symmetric_unchecked(u);
         if let Some(labels) = g.labels() {
             un = un.with_labels(labels.to_vec())?;
@@ -271,6 +290,20 @@ impl Symmetrizer for DegreeDiscounted {
             self.options.threshold,
             start.elapsed(),
         ))
+    }
+}
+
+impl Symmetrizer for DegreeDiscounted {
+    fn name(&self) -> String {
+        "Degree-discounted".to_string()
+    }
+
+    fn symmetrize(&self, g: &DiGraph) -> Result<SymmetrizedGraph> {
+        self.symmetrize_with(g, None)
+    }
+
+    fn symmetrize_cancellable(&self, g: &DiGraph, token: &CancelToken) -> Result<SymmetrizedGraph> {
+        self.symmetrize_with(g, Some(token))
     }
 }
 
@@ -429,6 +462,28 @@ mod tests {
         {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_symmetrization() {
+        let g = figure1_graph();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = DegreeDiscounted::default()
+            .symmetrize_cancellable(&g, &token)
+            .unwrap_err();
+        assert!(err.is_cancelled(), "got {err:?}");
+    }
+
+    #[test]
+    fn live_token_matches_plain_symmetrize() {
+        let g = figure1_graph();
+        let plain = DegreeDiscounted::default().symmetrize(&g).unwrap();
+        let token = CancelToken::new();
+        let cancellable = DegreeDiscounted::default()
+            .symmetrize_cancellable(&g, &token)
+            .unwrap();
+        assert_eq!(plain.adjacency(), cancellable.adjacency());
     }
 
     #[test]

@@ -54,6 +54,17 @@ pub enum SymmetrizeError {
     Graph(symclust_graph::GraphError),
     /// Invalid configuration.
     InvalidConfig(String),
+    /// The symmetrization was cancelled via a
+    /// [`CancelToken`](symclust_sparse::CancelToken) (explicitly or by
+    /// deadline).
+    Cancelled,
+}
+
+impl SymmetrizeError {
+    /// Whether this error stems from cooperative cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SymmetrizeError::Cancelled)
+    }
 }
 
 impl std::fmt::Display for SymmetrizeError {
@@ -62,6 +73,7 @@ impl std::fmt::Display for SymmetrizeError {
             SymmetrizeError::Sparse(e) => write!(f, "sparse error: {e}"),
             SymmetrizeError::Graph(e) => write!(f, "graph error: {e}"),
             SymmetrizeError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            SymmetrizeError::Cancelled => write!(f, "symmetrization cancelled"),
         }
     }
 }
@@ -70,7 +82,10 @@ impl std::error::Error for SymmetrizeError {}
 
 impl From<symclust_sparse::SparseError> for SymmetrizeError {
     fn from(e: symclust_sparse::SparseError) -> Self {
-        SymmetrizeError::Sparse(e)
+        match e {
+            symclust_sparse::SparseError::Cancelled => SymmetrizeError::Cancelled,
+            e => SymmetrizeError::Sparse(e),
+        }
     }
 }
 
@@ -93,4 +108,20 @@ pub trait Symmetrizer {
 
     /// Transforms the directed graph into an undirected one.
     fn symmetrize(&self, g: &DiGraph) -> Result<SymmetrizedGraph>;
+
+    /// [`symmetrize`](Self::symmetrize) with cooperative cancellation.
+    ///
+    /// The default implementation only checks the token before starting —
+    /// adequate for the cheap methods (`A+Aᵀ`). The similarity methods
+    /// ([`Bibliometric`], [`DegreeDiscounted`]) override it to poll inside
+    /// their SpGEMM row loops, so a multi-second symmetrization stops
+    /// within one row's work of the token tripping.
+    fn symmetrize_cancellable(
+        &self,
+        g: &DiGraph,
+        token: &symclust_sparse::CancelToken,
+    ) -> Result<SymmetrizedGraph> {
+        token.checkpoint()?;
+        self.symmetrize(g)
+    }
 }

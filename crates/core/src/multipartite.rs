@@ -95,10 +95,7 @@ impl Default for ChainOptions {
 
 /// Computes the degree-discounted meta-path similarity among layer-0 nodes
 /// of a multipartite chain.
-pub fn chain_degree_discounted(
-    chain: &MultipartiteChain,
-    opts: &ChainOptions,
-) -> Result<UnGraph> {
+pub fn chain_degree_discounted(chain: &MultipartiteChain, opts: &ChainOptions) -> Result<UnGraph> {
     // Layer degrees: layer 0 uses row sums of B₀; intermediate layer i
     // combines incoming (col sums of B_{i-1}) and outgoing (row sums of
     // Bᵢ) mass; the terminal layer uses col sums of the last link.
@@ -179,7 +176,20 @@ mod tests {
     fn three_layer_chain_links_users_through_tags() {
         // Users 0,1 buy items 0,1; users 2,3 buy items 2,3.
         // Items 0,1 share tag 0; items 2,3 share tag 1.
-        let users_items = link(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (3, 2), (3, 3)]);
+        let users_items = link(
+            4,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (2, 2),
+                (2, 3),
+                (3, 2),
+                (3, 3),
+            ],
+        );
         let items_tags = link(4, 2, &[(0, 0), (1, 0), (2, 1), (3, 1)]);
         let chain = MultipartiteChain::new(vec![users_items, items_tags]).unwrap();
         assert_eq!(chain.n_layers(), 3);
@@ -202,7 +212,16 @@ mod tests {
         let items_tags = link(
             4,
             3,
-            &[(0, 0), (1, 0), (2, 0), (3, 0), (0, 1), (1, 1), (2, 2), (3, 2)],
+            &[
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (0, 1),
+                (1, 1),
+                (2, 2),
+                (3, 2),
+            ],
         );
         let chain = MultipartiteChain::new(vec![users_items, items_tags]).unwrap();
         let s = chain_degree_discounted(&chain, &ChainOptions::default()).unwrap();

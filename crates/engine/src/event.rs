@@ -1,0 +1,268 @@
+//! Structured progress events emitted by the pipeline executor.
+//!
+//! Every stage transition produces one [`Event`]. Consumers receive them
+//! through the sink callback passed to [`crate::exec::Engine::run`]: the
+//! CLI renders them live as human-readable lines, the bench harness
+//! serializes them to JSON lines for offline inspection. The schema is
+//! documented in DESIGN.md and kept deliberately flat (one object per
+//! event, no nesting) so any JSONL tool can consume it.
+
+use crate::json::JsonObject;
+
+/// The typed stages of the pipeline DAG, in dependency order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Fingerprint + admit the input directed graph.
+    Load,
+    /// Directed → undirected transformation (stage 1 of the paper).
+    Symmetrize,
+    /// Optional extra thresholding of the symmetrized graph (§3.5).
+    Prune,
+    /// Undirected clustering (stage 2 of the paper).
+    Cluster,
+    /// F-score against ground truth + record assembly.
+    Evaluate,
+}
+
+impl StageKind {
+    /// Stable lowercase name used in events and cache keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageKind::Load => "load",
+            StageKind::Symmetrize => "symmetrize",
+            StageKind::Prune => "prune",
+            StageKind::Cluster => "cluster",
+            StageKind::Evaluate => "evaluate",
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One pipeline progress event.
+///
+/// `node` identifies the DAG node (stable within one run); `label` is the
+/// human-readable stage description (e.g. `"Degree-discounted"` or
+/// `"MLR-MCL(i=2.0)"`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A worker began executing the stage.
+    StageStarted {
+        /// DAG node id.
+        node: usize,
+        /// Stage type.
+        stage: StageKind,
+        /// Human-readable stage label.
+        label: String,
+    },
+    /// The stage completed; `secs` is its wall time and `output_items`
+    /// the size of what it produced (edges for symmetrize/prune, clusters
+    /// for cluster, records for evaluate, nodes for load).
+    StageFinished {
+        /// DAG node id.
+        node: usize,
+        /// Stage type.
+        stage: StageKind,
+        /// Human-readable stage label.
+        label: String,
+        /// Wall-clock seconds spent in the stage.
+        secs: f64,
+        /// Output size (stage-dependent unit, see variant doc).
+        output_items: usize,
+    },
+    /// The stage's artifact was served from the cache (possibly after
+    /// waiting out another worker's in-flight computation of it).
+    CacheHit {
+        /// DAG node id.
+        node: usize,
+        /// Stage type.
+        stage: StageKind,
+        /// Human-readable stage label.
+        label: String,
+        /// Content-addressed cache key that hit.
+        key: u64,
+    },
+    /// Sweep-level progress: `completed` of `total` DAG nodes settled.
+    Progress {
+        /// Nodes finished, failed, or skipped so far.
+        completed: usize,
+        /// Total nodes in the plan.
+        total: usize,
+    },
+    /// The stage was skipped or aborted due to cancellation (explicit
+    /// token, deadline, or an upstream dependency not completing).
+    Cancelled {
+        /// DAG node id.
+        node: usize,
+        /// Stage type.
+        stage: StageKind,
+        /// Human-readable stage label.
+        label: String,
+    },
+    /// The stage failed with an error; dependents are skipped.
+    StageFailed {
+        /// DAG node id.
+        node: usize,
+        /// Stage type.
+        stage: StageKind,
+        /// Human-readable stage label.
+        label: String,
+        /// Error description.
+        error: String,
+    },
+}
+
+impl Event {
+    /// Event type tag used in the JSON serialization.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::StageStarted { .. } => "stage_started",
+            Event::StageFinished { .. } => "stage_finished",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::Progress { .. } => "progress",
+            Event::Cancelled { .. } => "cancelled",
+            Event::StageFailed { .. } => "stage_failed",
+        }
+    }
+
+    /// One JSON object on a single line (JSONL-ready). Schema:
+    /// `{"event": tag, ...variant fields}`.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.string("event", self.tag());
+        match self {
+            Event::StageStarted { node, stage, label } => {
+                obj.number("node", *node as f64);
+                obj.string("stage", stage.name());
+                obj.string("label", label);
+            }
+            Event::StageFinished {
+                node,
+                stage,
+                label,
+                secs,
+                output_items,
+            } => {
+                obj.number("node", *node as f64);
+                obj.string("stage", stage.name());
+                obj.string("label", label);
+                obj.number("secs", *secs);
+                obj.number("output_items", *output_items as f64);
+            }
+            Event::CacheHit {
+                node,
+                stage,
+                label,
+                key,
+            } => {
+                obj.number("node", *node as f64);
+                obj.string("stage", stage.name());
+                obj.string("label", label);
+                obj.string("key", &format!("{key:016x}"));
+            }
+            Event::Progress { completed, total } => {
+                obj.number("completed", *completed as f64);
+                obj.number("total", *total as f64);
+            }
+            Event::Cancelled { node, stage, label } => {
+                obj.number("node", *node as f64);
+                obj.string("stage", stage.name());
+                obj.string("label", label);
+            }
+            Event::StageFailed {
+                node,
+                stage,
+                label,
+                error,
+            } => {
+                obj.number("node", *node as f64);
+                obj.string("stage", stage.name());
+                obj.string("label", label);
+                obj.string("error", error);
+            }
+        }
+        obj.finish()
+    }
+
+    /// A one-line human rendering used by the CLI's live display.
+    pub fn render(&self) -> String {
+        match self {
+            Event::StageStarted { stage, label, .. } => {
+                format!("[{stage:>10}] {label} ...")
+            }
+            Event::StageFinished {
+                stage,
+                label,
+                secs,
+                output_items,
+                ..
+            } => format!("[{stage:>10}] {label} done in {secs:.3}s ({output_items} items)"),
+            Event::CacheHit { stage, label, .. } => {
+                format!("[{stage:>10}] {label} (cached)")
+            }
+            Event::Progress { completed, total } => {
+                format!("[  progress] {completed}/{total} stages")
+            }
+            Event::Cancelled { stage, label, .. } => {
+                format!("[{stage:>10}] {label} CANCELLED")
+            }
+            Event::StageFailed {
+                stage,
+                label,
+                error,
+                ..
+            } => format!("[{stage:>10}] {label} FAILED: {error}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(StageKind::Symmetrize.name(), "symmetrize");
+        assert_eq!(StageKind::Evaluate.to_string(), "evaluate");
+    }
+
+    #[test]
+    fn json_schema_has_event_tag_and_fields() {
+        let e = Event::StageFinished {
+            node: 3,
+            stage: StageKind::Cluster,
+            label: "MLR-MCL".into(),
+            secs: 0.25,
+            output_items: 17,
+        };
+        let j = e.to_json();
+        assert!(j.starts_with("{\"event\":\"stage_finished\""), "{j}");
+        assert!(j.contains("\"stage\":\"cluster\""), "{j}");
+        assert!(j.contains("\"output_items\":17"), "{j}");
+    }
+
+    #[test]
+    fn cache_key_serializes_as_hex_string() {
+        let e = Event::CacheHit {
+            node: 0,
+            stage: StageKind::Symmetrize,
+            label: "Bibliometric".into(),
+            key: 0xdead_beef,
+        };
+        assert!(e.to_json().contains("\"key\":\"00000000deadbeef\""));
+    }
+
+    #[test]
+    fn render_is_single_line() {
+        let e = Event::Progress {
+            completed: 2,
+            total: 9,
+        };
+        assert!(!e.render().contains('\n'));
+        assert!(e.render().contains("2/9"));
+    }
+}

@@ -1,0 +1,525 @@
+//! The pipeline executor: a crossbeam worker pool driving the stage DAG
+//! with bounded-channel backpressure, a shared artifact cache, cooperative
+//! cancellation with per-stage deadlines, and a structured event stream.
+//!
+//! Execution model:
+//!
+//! * The calling thread acts as the **dispatcher**. It tracks per-node
+//!   in-degrees and pushes ready nodes into a *bounded* task channel
+//!   (capacity = worker count), so dispatch stalls when every worker is
+//!   busy rather than queueing unboundedly.
+//! * `threads` **workers** loop over the task channel, execute one stage
+//!   at a time, and report on an *unbounded* done channel (workers never
+//!   block on reporting, so the pool cannot deadlock against a stalled
+//!   dispatcher).
+//! * The dispatcher receives done messages with a short timeout so it can
+//!   also poll the run-level [`CancelToken`]; on cancellation it stops
+//!   dispatching, cancels all in-flight stage tokens, and drains
+//!   outstanding work. Records of already-completed chains are kept —
+//!   cancellation surfaces *partial results*, it does not discard them.
+
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::event::{Event, StageKind};
+use crate::fingerprint::{graph_fingerprint, matrix_fingerprint, stage_key};
+use crate::plan::{PipelineSpec, Plan, StageNode};
+use crate::report::RunRecord;
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use symclust_cluster::Clustering;
+use symclust_core::SymmetrizedGraph;
+use symclust_eval::avg_f_score;
+use symclust_graph::{DiGraph, GroundTruth, UnGraph};
+use symclust_sparse::{ops, CancelToken};
+
+/// The input a pipeline runs over: a directed graph plus optional ground
+/// truth, under a dataset name used in records.
+#[derive(Clone)]
+pub struct PipelineInput {
+    /// Dataset name recorded in [`RunRecord::dataset`].
+    pub name: String,
+    /// The directed graph.
+    pub graph: Arc<DiGraph>,
+    /// Ground truth for F-score evaluation, when available.
+    pub truth: Option<Arc<GroundTruth>>,
+}
+
+impl PipelineInput {
+    /// Wraps a graph (and optional truth) as pipeline input.
+    pub fn new(name: impl Into<String>, graph: DiGraph, truth: Option<GroundTruth>) -> Self {
+        PipelineInput {
+            name: name.into(),
+            graph: Arc::new(graph),
+            truth: truth.map(Arc::new),
+        }
+    }
+}
+
+/// Engine-wide execution options.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Worker threads. `0` means one per available core (capped at 8).
+    pub threads: usize,
+    /// Per-stage wall-clock deadline. A stage exceeding it is cancelled
+    /// (its chain is skipped) while the rest of the sweep continues.
+    pub stage_deadline: Option<Duration>,
+}
+
+impl EngineOptions {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        }
+    }
+}
+
+/// Outcome of one sweep.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Completed run records, in plan order (method-major, matching the
+    /// serial reference loops). Partial on cancellation.
+    pub records: Vec<RunRecord>,
+    /// Whether the run-level token tripped before the sweep finished.
+    pub cancelled: bool,
+    /// Stages skipped or aborted by cancellation/deadline (count).
+    pub skipped: usize,
+    /// `(stage label, error)` for stages that failed outright.
+    pub failures: Vec<(String, String)>,
+    /// Cache hits/misses incurred by *this* sweep (delta, not engine
+    /// lifetime totals).
+    pub cache: CacheStats,
+}
+
+/// How a stage settled, as reported by a worker.
+enum StageResult {
+    Done(NodeOutput),
+    Cancelled,
+    Failed(String),
+}
+
+/// The artifact a settled node leaves for its dependents.
+#[derive(Clone)]
+enum NodeOutput {
+    /// Load: the input graph's content fingerprint.
+    Fingerprint(u64),
+    /// Symmetrize/Prune: shared symmetrized graph.
+    Sym(Arc<SymmetrizedGraph>),
+    /// Cluster: the clustering, its wall time, and the symmetrized graph
+    /// it was computed on (carried through for record assembly).
+    Clustered {
+        clustering: Arc<Clustering>,
+        secs: f64,
+        sym: Arc<SymmetrizedGraph>,
+    },
+    /// Evaluate: the finished record.
+    Record(Box<RunRecord>),
+}
+
+/// Shared state the workers read.
+struct ExecCtx<'a> {
+    input: &'a PipelineInput,
+    cache: &'a ArtifactCache<SymmetrizedGraph>,
+    outputs: Mutex<HashMap<usize, NodeOutput>>,
+    sink: &'a (dyn Fn(Event) + Send + Sync),
+}
+
+/// The pipeline engine: a persistent artifact cache plus execution
+/// options. Reusing one engine across sweeps (e.g. an inflation sweep
+/// after a k sweep) carries symmetrization artifacts over, so each
+/// distinct (graph, method, params) computes exactly once per process.
+pub struct Engine {
+    cache: ArtifactCache<SymmetrizedGraph>,
+    opts: EngineOptions,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new(EngineOptions::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given options and an empty cache.
+    pub fn new(opts: EngineOptions) -> Self {
+        Engine {
+            cache: ArtifactCache::new(),
+            opts,
+        }
+    }
+
+    /// Lifetime cache counters (across all sweeps run on this engine).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs a sweep to completion, streaming events to `sink`.
+    pub fn run(
+        &self,
+        input: &PipelineInput,
+        spec: &PipelineSpec,
+        sink: &(dyn Fn(Event) + Send + Sync),
+    ) -> SweepResult {
+        self.run_cancellable(input, spec, &CancelToken::new(), sink)
+    }
+
+    /// [`run`](Self::run) under an externally-owned cancellation token.
+    /// Tripping the token stops dispatch promptly; stages already finished
+    /// keep their records in the (partial) result.
+    pub fn run_cancellable(
+        &self,
+        input: &PipelineInput,
+        spec: &PipelineSpec,
+        run_token: &CancelToken,
+        sink: &(dyn Fn(Event) + Send + Sync),
+    ) -> SweepResult {
+        let plan = Plan::build(spec);
+        let total = plan.len();
+        let threads = self.opts.effective_threads();
+        let stats_before = self.cache.stats();
+
+        let ctx = ExecCtx {
+            input,
+            cache: &self.cache,
+            outputs: Mutex::new(HashMap::new()),
+            sink,
+        };
+
+        // Per-stage tokens handed to workers. With no deadline configured
+        // the run token itself is used, so mid-stage cancellation is
+        // immediate; with a deadline each stage gets its own deadline
+        // token, registered here so run-level cancellation still reaches
+        // stages already in flight.
+        let active_tokens: Mutex<Vec<CancelToken>> = Mutex::new(Vec::new());
+        let make_stage_token = || -> CancelToken {
+            match self.opts.stage_deadline {
+                None => run_token.clone(),
+                Some(d) => {
+                    let t = CancelToken::with_deadline(d);
+                    if run_token.is_cancelled() {
+                        t.cancel();
+                    }
+                    active_tokens.lock().expect("token lock").push(t.clone());
+                    t
+                }
+            }
+        };
+
+        let (task_tx, task_rx) = bounded::<(usize, CancelToken)>(threads);
+        let (done_tx, done_rx) = unbounded::<(usize, StageResult)>();
+
+        let mut indeg = plan.indegrees();
+        let dependents = plan.dependents();
+        let mut settled = vec![false; total];
+        let mut n_settled = 0usize;
+        let mut skipped = 0usize;
+        let mut failures: Vec<(String, String)> = Vec::new();
+        let mut ready: VecDeque<usize> = (0..total).filter(|&i| indeg[i] == 0).collect();
+        let mut cancelled_broadcast = false;
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                let ctx = &ctx;
+                let plan = &plan;
+                scope.spawn(move |_| {
+                    while let Ok((id, token)) = task_rx.recv() {
+                        let result = run_stage(&plan.nodes[id], ctx, &token);
+                        if done_tx.send((id, result)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            // Only workers' clones keep these halves alive.
+            drop(task_rx);
+            drop(done_tx);
+
+            // Dispatcher loop.
+            let skip_subtree = |root: usize,
+                                settled: &mut Vec<bool>,
+                                n_settled: &mut usize,
+                                skipped: &mut usize| {
+                let mut stack = vec![root];
+                while let Some(id) = stack.pop() {
+                    if settled[id] {
+                        continue;
+                    }
+                    settled[id] = true;
+                    *n_settled += 1;
+                    *skipped += 1;
+                    let node = &plan.nodes[id];
+                    (ctx.sink)(Event::Cancelled {
+                        node: id,
+                        stage: node.kind,
+                        label: node.label.clone(),
+                    });
+                    stack.extend(dependents[id].iter().copied());
+                }
+            };
+
+            while n_settled < total {
+                if run_token.is_cancelled() && !cancelled_broadcast {
+                    cancelled_broadcast = true;
+                    for t in active_tokens.lock().expect("token lock").iter() {
+                        t.cancel();
+                    }
+                }
+
+                if run_token.is_cancelled() {
+                    // Skip everything not yet dispatched.
+                    while let Some(id) = ready.pop_front() {
+                        skip_subtree(id, &mut settled, &mut n_settled, &mut skipped);
+                    }
+                } else {
+                    while let Some(id) = ready.pop_front() {
+                        // Blocking bounded send = backpressure: stall here
+                        // (instead of queueing) while all workers are busy.
+                        if task_tx.send((id, make_stage_token())).is_err() {
+                            skip_subtree(id, &mut settled, &mut n_settled, &mut skipped);
+                        }
+                    }
+                }
+                if n_settled >= total {
+                    break;
+                }
+
+                match done_rx.recv_timeout(Duration::from_millis(25)) {
+                    Ok((id, result)) => {
+                        debug_assert!(!settled[id]);
+                        settled[id] = true;
+                        n_settled += 1;
+                        match result {
+                            StageResult::Done(output) => {
+                                ctx.outputs.lock().expect("outputs lock").insert(id, output);
+                                for &dep in &dependents[id] {
+                                    indeg[dep] -= 1;
+                                    if indeg[dep] == 0 {
+                                        ready.push_back(dep);
+                                    }
+                                }
+                            }
+                            StageResult::Cancelled => {
+                                skipped += 1;
+                                let node = &plan.nodes[id];
+                                (ctx.sink)(Event::Cancelled {
+                                    node: id,
+                                    stage: node.kind,
+                                    label: node.label.clone(),
+                                });
+                                for &dep in &dependents[id] {
+                                    skip_subtree(dep, &mut settled, &mut n_settled, &mut skipped);
+                                }
+                            }
+                            StageResult::Failed(err) => {
+                                let node = &plan.nodes[id];
+                                (ctx.sink)(Event::StageFailed {
+                                    node: id,
+                                    stage: node.kind,
+                                    label: node.label.clone(),
+                                    error: err.clone(),
+                                });
+                                failures.push((node.label.clone(), err));
+                                for &dep in &dependents[id] {
+                                    skip_subtree(dep, &mut settled, &mut n_settled, &mut skipped);
+                                }
+                            }
+                        }
+                        (ctx.sink)(Event::Progress {
+                            completed: n_settled,
+                            total,
+                        });
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            drop(task_tx); // ends the workers' recv loops
+        })
+        .expect("engine worker pool");
+
+        // Collect records in plan (node-id) order for deterministic output.
+        let mut records = Vec::new();
+        let outputs = ctx.outputs.into_inner().expect("outputs lock");
+        let mut ids: Vec<usize> = outputs.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            if let Some(NodeOutput::Record(r)) = outputs.get(&id) {
+                records.push((**r).clone());
+            }
+        }
+
+        let stats_after = self.cache.stats();
+        SweepResult {
+            records,
+            cancelled: run_token.is_cancelled(),
+            skipped,
+            failures,
+            cache: CacheStats {
+                hits: stats_after.hits - stats_before.hits,
+                misses: stats_after.misses - stats_before.misses,
+            },
+        }
+    }
+}
+
+/// Fetches a dependency's output (present by construction: the dispatcher
+/// only releases a node once all dependencies have settled successfully).
+fn dep_output(ctx: &ExecCtx<'_>, id: usize) -> NodeOutput {
+    ctx.outputs
+        .lock()
+        .expect("outputs lock")
+        .get(&id)
+        .cloned()
+        .expect("dependency output missing")
+}
+
+/// Executes one stage, emitting its events. Runs on a worker thread.
+fn run_stage(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -> StageResult {
+    if token.is_cancelled() {
+        return StageResult::Cancelled;
+    }
+    (ctx.sink)(Event::StageStarted {
+        node: node.id,
+        stage: node.kind,
+        label: node.label.clone(),
+    });
+    let start = Instant::now();
+    let finished = |output_items: usize| Event::StageFinished {
+        node: node.id,
+        stage: node.kind,
+        label: node.label.clone(),
+        secs: start.elapsed().as_secs_f64(),
+        output_items,
+    };
+
+    match node.kind {
+        StageKind::Load => {
+            let fp = graph_fingerprint(&ctx.input.graph);
+            (ctx.sink)(finished(ctx.input.graph.n_nodes()));
+            StageResult::Done(NodeOutput::Fingerprint(fp))
+        }
+        StageKind::Symmetrize => {
+            let NodeOutput::Fingerprint(fp) = dep_output(ctx, node.deps[0]) else {
+                return StageResult::Failed("load artifact has wrong type".into());
+            };
+            let method = node.method.expect("symmetrize node has a method");
+            let (stage_name, params) = method.cache_params();
+            let key = stage_key(fp, stage_name, &params);
+            match ctx.cache.get_or_compute(key, || {
+                method.symmetrize_cancellable(&ctx.input.graph, token)
+            }) {
+                Ok((sym, hit)) => {
+                    if hit {
+                        (ctx.sink)(Event::CacheHit {
+                            node: node.id,
+                            stage: node.kind,
+                            label: node.label.clone(),
+                            key,
+                        });
+                    } else {
+                        (ctx.sink)(finished(sym.n_edges()));
+                    }
+                    StageResult::Done(NodeOutput::Sym(sym))
+                }
+                Err(e) if e.is_cancelled() => StageResult::Cancelled,
+                Err(e) => StageResult::Failed(e.to_string()),
+            }
+        }
+        StageKind::Prune => {
+            let NodeOutput::Sym(sym) = dep_output(ctx, node.deps[0]) else {
+                return StageResult::Failed("prune input has wrong type".into());
+            };
+            if token.is_cancelled() {
+                return StageResult::Cancelled;
+            }
+            // Threshold appears as the stage parameter; the input is
+            // addressed by its exact matrix content.
+            let threshold = node.prune_threshold.expect("prune node has a threshold");
+            let key = stage_key(matrix_fingerprint(sym.adjacency()), "prune", &[threshold]);
+            let compute = || -> Result<SymmetrizedGraph, String> {
+                let (pruned, _dropped) = ops::prune(sym.adjacency(), threshold);
+                let mut un = UnGraph::from_symmetric_unchecked(pruned);
+                if let Some(labels) = sym.graph().labels() {
+                    un = un.with_labels(labels.to_vec()).map_err(|e| e.to_string())?;
+                }
+                Ok(SymmetrizedGraph::new(
+                    un,
+                    sym.method().to_string(),
+                    threshold,
+                    sym.elapsed() + start.elapsed(),
+                ))
+            };
+            match ctx.cache.get_or_compute(key, compute) {
+                Ok((pruned, hit)) => {
+                    if hit {
+                        (ctx.sink)(Event::CacheHit {
+                            node: node.id,
+                            stage: node.kind,
+                            label: node.label.clone(),
+                            key,
+                        });
+                    } else {
+                        (ctx.sink)(finished(pruned.n_edges()));
+                    }
+                    StageResult::Done(NodeOutput::Sym(pruned))
+                }
+                Err(e) => StageResult::Failed(e),
+            }
+        }
+        StageKind::Cluster => {
+            let NodeOutput::Sym(sym) = dep_output(ctx, node.deps[0]) else {
+                return StageResult::Failed("cluster input has wrong type".into());
+            };
+            let clusterer = node.clusterer.expect("cluster node has a clusterer");
+            match clusterer.cluster_cancellable(sym.graph(), token) {
+                Ok(clustering) => {
+                    let secs = start.elapsed().as_secs_f64();
+                    (ctx.sink)(finished(clustering.n_clusters()));
+                    StageResult::Done(NodeOutput::Clustered {
+                        clustering: Arc::new(clustering),
+                        secs,
+                        sym,
+                    })
+                }
+                Err(e) if e.is_cancelled() => StageResult::Cancelled,
+                Err(e) => StageResult::Failed(e.to_string()),
+            }
+        }
+        StageKind::Evaluate => {
+            let NodeOutput::Clustered {
+                clustering,
+                secs,
+                sym,
+            } = dep_output(ctx, node.deps[0])
+            else {
+                return StageResult::Failed("evaluate input has wrong type".into());
+            };
+            let method = node.method.expect("evaluate node has a method");
+            let clusterer = node.clusterer.expect("evaluate node has a clusterer");
+            let f_score = ctx
+                .input
+                .truth
+                .as_deref()
+                .map(|t| avg_f_score(clustering.assignments(), t).avg_f);
+            let record = RunRecord {
+                dataset: ctx.input.name.clone(),
+                symmetrization: method.name(),
+                algorithm: clusterer.name().to_string(),
+                n_clusters: clustering.n_clusters(),
+                f_score,
+                cluster_secs: secs,
+                symmetrize_secs: sym.elapsed().as_secs_f64(),
+                sym_edges: sym.n_edges(),
+            };
+            (ctx.sink)(finished(1));
+            StageResult::Done(NodeOutput::Record(Box::new(record)))
+        }
+    }
+}

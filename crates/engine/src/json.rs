@@ -1,0 +1,132 @@
+//! Minimal JSON writer for event streams and result records.
+//!
+//! The workspace has no serde (offline build), and the only JSON it emits
+//! is flat objects of strings/numbers/bools — so a small escaping writer
+//! is all that's needed. Output is one object per [`JsonObject::finish`],
+//! suitable for JSONL streams.
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a number as JSON: finite floats as-is (integral values without
+/// a trailing `.0` is not required by JSON, so `1234` and `0.5` both
+/// appear naturally), non-finite values as `null` (JSON has no NaN/inf).
+pub fn number(x: f64) -> String {
+    if !x.is_finite() {
+        "null".to_string()
+    } else if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Incremental writer for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn string(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+    }
+
+    /// Adds a numeric field.
+    pub fn number(&mut self, key: &str, value: f64) {
+        self.key(key);
+        self.buf.push_str(&number(value));
+    }
+
+    /// Adds a boolean field.
+    pub fn boolean(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Adds an explicit `null` field.
+    pub fn null(&mut self, key: &str) {
+        self.key(key);
+        self.buf.push_str("null");
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (e.g. a nested object).
+    pub fn raw(&mut self, key: &str, json: &str) {
+        self.key(key);
+        self.buf.push_str(json);
+    }
+
+    /// Closes the object and returns it as a single line.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_render_compactly() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(0.25), "0.25");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_builds_valid_json() {
+        let mut obj = JsonObject::new();
+        obj.string("name", "A+A'");
+        obj.number("edges", 42.0);
+        obj.boolean("hit", true);
+        obj.null("f");
+        assert_eq!(
+            obj.finish(),
+            r#"{"name":"A+A'","edges":42,"hit":true,"f":null}"#
+        );
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

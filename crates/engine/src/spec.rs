@@ -1,0 +1,289 @@
+//! The single factory for symmetrization methods and clusterers used by
+//! every harness (engine, bench, CLI).
+//!
+//! Before the engine existed, the bench runner and the CLI each built
+//! `Symmetrizer`/`ClusterAlgorithm` instances from their own match
+//! statements. This module is now the one place that maps a declarative
+//! [`SymMethod`]/[`Clusterer`] value to a configured algorithm; both
+//! construction paths and the cache-key encoding live next to each other
+//! so they cannot drift apart.
+
+use symclust_cluster::{ClusterAlgorithm, Clustering, GraclusLike, MetisLike, MlrMcl};
+use symclust_core::{
+    Bibliometric, BibliometricOptions, DegreeDiscounted, DegreeDiscountedOptions, DiscountExponent,
+    PlusTranspose, RandomWalk, SymmetrizedGraph, Symmetrizer,
+};
+use symclust_graph::{DiGraph, UnGraph};
+use symclust_sparse::CancelToken;
+
+/// The four symmetrization methods compared throughout the paper, with the
+/// thresholds that make the similarity methods tractable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SymMethod {
+    /// `U = A + Aᵀ` (§3.1).
+    PlusTranspose,
+    /// `U = (ΠP + PᵀΠ)/2` (§3.2).
+    RandomWalk,
+    /// `U = AAᵀ + AᵀA`, pruned at `threshold` (§3.3).
+    Bibliometric {
+        /// Prune threshold (Table 2 column).
+        threshold: f64,
+    },
+    /// Eq. 8 with discount exponents and threshold (§3.4).
+    DegreeDiscounted {
+        /// Out-degree exponent α.
+        alpha: f64,
+        /// In-degree exponent β.
+        beta: f64,
+        /// Prune threshold.
+        threshold: f64,
+    },
+}
+
+impl SymMethod {
+    /// The paper's four-method lineup with the given similarity thresholds.
+    pub fn lineup(bib_threshold: f64, dd_threshold: f64) -> Vec<SymMethod> {
+        vec![
+            SymMethod::DegreeDiscounted {
+                alpha: 0.5,
+                beta: 0.5,
+                threshold: dd_threshold,
+            },
+            SymMethod::Bibliometric {
+                threshold: bib_threshold,
+            },
+            SymMethod::PlusTranspose,
+            SymMethod::RandomWalk,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            SymMethod::PlusTranspose => "A+A'".into(),
+            SymMethod::RandomWalk => "Random Walk".into(),
+            SymMethod::Bibliometric { .. } => "Bibliometric".into(),
+            SymMethod::DegreeDiscounted { .. } => "Degree-discounted".into(),
+        }
+    }
+
+    /// Builds the configured symmetrizer.
+    pub fn build(&self) -> Box<dyn Symmetrizer + Send + Sync> {
+        match *self {
+            SymMethod::PlusTranspose => Box::new(PlusTranspose),
+            SymMethod::RandomWalk => Box::new(RandomWalk::default()),
+            SymMethod::Bibliometric { threshold } => Box::new(Bibliometric {
+                options: BibliometricOptions {
+                    threshold,
+                    ..Default::default()
+                },
+            }),
+            SymMethod::DegreeDiscounted {
+                alpha,
+                beta,
+                threshold,
+            } => Box::new(DegreeDiscounted {
+                options: DegreeDiscountedOptions {
+                    alpha: DiscountExponent::Power(alpha),
+                    beta: DiscountExponent::Power(beta),
+                    threshold,
+                    ..Default::default()
+                },
+            }),
+        }
+    }
+
+    /// Runs the symmetrization (panics on error — valid for the in-memory
+    /// graphs the harnesses use; the engine path uses
+    /// [`symmetrize_cancellable`](Self::symmetrize_cancellable) instead).
+    pub fn symmetrize(&self, g: &DiGraph) -> SymmetrizedGraph {
+        self.build()
+            .symmetrize(g)
+            .expect("symmetrization cannot fail on a valid graph")
+    }
+
+    /// Runs the symmetrization with cooperative cancellation.
+    pub fn symmetrize_cancellable(
+        &self,
+        g: &DiGraph,
+        token: &CancelToken,
+    ) -> symclust_core::Result<SymmetrizedGraph> {
+        self.build().symmetrize_cancellable(g, token)
+    }
+
+    /// Stable (stage name, parameter vector) encoding for content-addressed
+    /// cache keys. Everything that affects the output must appear here.
+    pub fn cache_params(&self) -> (&'static str, Vec<f64>) {
+        match *self {
+            SymMethod::PlusTranspose => ("symmetrize/aat", vec![]),
+            SymMethod::RandomWalk => ("symmetrize/rw", vec![]),
+            SymMethod::Bibliometric { threshold } => ("symmetrize/bib", vec![threshold]),
+            SymMethod::DegreeDiscounted {
+                alpha,
+                beta,
+                threshold,
+            } => ("symmetrize/dd", vec![alpha, beta, threshold]),
+        }
+    }
+}
+
+/// Selects prune thresholds for Bibliometric and Degree-discounted on a
+/// graph so both symmetrized graphs land near `target_avg_degree`
+/// (the paper's §5.3.1 recipe; Table 2 chooses thresholds per dataset).
+/// Returns `(bib_threshold, dd_threshold)`.
+pub fn select_thresholds(g: &DiGraph, target_avg_degree: f64) -> (f64, f64) {
+    let sample = 120.min(g.n_nodes());
+    let dd = symclust_core::select_threshold(
+        g,
+        &DegreeDiscountedOptions::default(),
+        target_avg_degree,
+        sample,
+        0xBEEF,
+    )
+    .expect("threshold selection succeeds")
+    .threshold;
+    // Bibliometric = Degree-discounted with α = β = 0 (plus the +I step).
+    let bib_opts = DegreeDiscountedOptions {
+        alpha: DiscountExponent::Power(0.0),
+        beta: DiscountExponent::Power(0.0),
+        add_identity: true,
+        ..Default::default()
+    };
+    let bib = symclust_core::select_threshold(g, &bib_opts, target_avg_degree, sample, 0xBEEF)
+        .expect("threshold selection succeeds")
+        .threshold;
+    (bib, dd)
+}
+
+/// The stage-2 clusterers used in the sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Clusterer {
+    /// MLR-MCL at a given inflation (cluster count is implicit).
+    MlrMcl {
+        /// Inflation parameter.
+        inflation: f64,
+    },
+    /// Metis-like at a given k.
+    Metis {
+        /// Number of parts.
+        k: usize,
+    },
+    /// Graclus-like at a given k.
+    Graclus {
+        /// Number of clusters.
+        k: usize,
+    },
+}
+
+impl Clusterer {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Clusterer::MlrMcl { .. } => "MLR-MCL",
+            Clusterer::Metis { .. } => "Metis",
+            Clusterer::Graclus { .. } => "Graclus",
+        }
+    }
+
+    /// Display name including the granularity parameter, for event labels.
+    pub fn label(&self) -> String {
+        match self {
+            Clusterer::MlrMcl { inflation } => format!("MLR-MCL(i={inflation})"),
+            Clusterer::Metis { k } => format!("Metis(k={k})"),
+            Clusterer::Graclus { k } => format!("Graclus(k={k})"),
+        }
+    }
+
+    /// Builds the configured clustering algorithm.
+    pub fn build(&self) -> Box<dyn ClusterAlgorithm + Send + Sync> {
+        match *self {
+            Clusterer::MlrMcl { inflation } => Box::new(MlrMcl::with_inflation(inflation)),
+            Clusterer::Metis { k } => Box::new(MetisLike::with_k(k)),
+            Clusterer::Graclus { k } => Box::new(GraclusLike::with_k(k)),
+        }
+    }
+
+    /// Runs the clusterer on a symmetrized graph (panics on error; the
+    /// engine path uses [`cluster_cancellable`](Self::cluster_cancellable)).
+    pub fn run(&self, sym: &SymmetrizedGraph) -> Clustering {
+        self.build()
+            .cluster_ungraph(sym.graph())
+            .expect("clustering succeeds")
+    }
+
+    /// Runs the clusterer with cooperative cancellation.
+    pub fn cluster_cancellable(
+        &self,
+        g: &UnGraph,
+        token: &CancelToken,
+    ) -> symclust_cluster::Result<Clustering> {
+        self.build().cluster_ungraph_cancellable(g, token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symclust_graph::generators::figure1_graph;
+
+    #[test]
+    fn lineup_has_four_methods() {
+        let lineup = SymMethod::lineup(5.0, 0.01);
+        assert_eq!(lineup.len(), 4);
+        let names: Vec<String> = lineup.iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"Degree-discounted".to_string()));
+        assert!(names.contains(&"A+A'".to_string()));
+    }
+
+    #[test]
+    fn built_symmetrizer_matches_direct_construction() {
+        let g = figure1_graph();
+        let via_factory = SymMethod::DegreeDiscounted {
+            alpha: 0.5,
+            beta: 0.5,
+            threshold: 0.0,
+        }
+        .symmetrize(&g);
+        let direct = DegreeDiscounted::default().symmetrize(&g).unwrap();
+        assert_eq!(via_factory.adjacency(), direct.adjacency());
+    }
+
+    #[test]
+    fn cache_params_distinguish_methods_and_parameters() {
+        let a = SymMethod::Bibliometric { threshold: 1.0 }.cache_params();
+        let b = SymMethod::Bibliometric { threshold: 2.0 }.cache_params();
+        assert_eq!(a.0, b.0);
+        assert_ne!(a.1, b.1);
+        let dd = SymMethod::DegreeDiscounted {
+            alpha: 0.5,
+            beta: 0.5,
+            threshold: 0.0,
+        }
+        .cache_params();
+        assert_ne!(a.0, dd.0);
+        assert_eq!(dd.1, vec![0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn clusterer_names_and_labels() {
+        assert_eq!(Clusterer::MlrMcl { inflation: 2.0 }.name(), "MLR-MCL");
+        assert_eq!(Clusterer::Metis { k: 3 }.label(), "Metis(k=3)");
+        assert_eq!(Clusterer::Graclus { k: 3 }.name(), "Graclus");
+    }
+
+    #[test]
+    fn cancelled_token_propagates_through_factory() {
+        let g = figure1_graph();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = SymMethod::PlusTranspose
+            .symmetrize_cancellable(&g, &token)
+            .unwrap_err();
+        assert!(err.is_cancelled());
+        let sym = SymMethod::PlusTranspose.symmetrize(&g);
+        let err = Clusterer::MlrMcl { inflation: 2.0 }
+            .cluster_cancellable(sym.graph(), &token)
+            .unwrap_err();
+        assert!(err.is_cancelled());
+    }
+}

@@ -1,0 +1,257 @@
+//! End-to-end engine tests: cache semantics across a sweep, F-score
+//! parity with the serial reference path, and cancellation surfacing
+//! partial results.
+
+use std::sync::Mutex;
+use symclust_engine::{
+    measure, Clusterer, Engine, EngineOptions, Event, PipelineInput, PipelineSpec, StageKind,
+    SymMethod,
+};
+use symclust_graph::generators::{shared_link_dsbm, SharedLinkDsbmConfig};
+use symclust_sparse::CancelToken;
+
+fn small_input() -> PipelineInput {
+    let g = shared_link_dsbm(&SharedLinkDsbmConfig {
+        n_nodes: 300,
+        n_clusters: 10,
+        seed: 5,
+        ..Default::default()
+    })
+    .unwrap();
+    PipelineInput::new("dsbm300", g.graph, Some(g.truth))
+}
+
+fn four_by_two_spec() -> PipelineSpec {
+    PipelineSpec {
+        methods: SymMethod::lineup(0.0, 0.0),
+        clusterers: vec![
+            Clusterer::MlrMcl { inflation: 2.0 },
+            Clusterer::Metis { k: 10 },
+        ],
+        extra_prune: None,
+    }
+}
+
+/// The acceptance scenario: a 4-method × 2-clusterer sweep issues 8
+/// symmetrize stages but performs exactly 4 symmetrization computations —
+/// the other 4 are cache hits — and the parallel engine's F-scores match
+/// the serial reference path exactly.
+#[test]
+fn four_by_two_sweep_computes_each_symmetrization_once_and_matches_serial() {
+    let input = small_input();
+    let spec = four_by_two_spec();
+    let engine = Engine::new(EngineOptions {
+        threads: 4,
+        stage_deadline: None,
+    });
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let result = engine.run(&input, &spec, &|e| events.lock().unwrap().push(e));
+
+    assert!(
+        result.failures.is_empty(),
+        "failures: {:?}",
+        result.failures
+    );
+    assert!(!result.cancelled);
+    assert_eq!(result.records.len(), 8);
+
+    // Exactly 4 computations, 4 hits — the cache carried every repeat.
+    assert_eq!(result.cache.misses, 4, "each method computes exactly once");
+    assert_eq!(
+        result.cache.hits, 4,
+        "the second consumer of each method hits"
+    );
+    let events = events.into_inner().unwrap();
+    let cache_hits = events
+        .iter()
+        .filter(|e| matches!(e, Event::CacheHit { .. }))
+        .count();
+    assert_eq!(cache_hits, 4);
+    let sym_finished = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                Event::StageFinished {
+                    stage: StageKind::Symmetrize,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(sym_finished, 4);
+
+    // Deterministic parity with the serial path: every (method, clusterer)
+    // pair's F-score and cluster count must match a fresh serial run.
+    let truth = input.truth.as_deref();
+    for method in &spec.methods {
+        let sym = method.symmetrize(&input.graph);
+        for &clusterer in &spec.clusterers {
+            let serial = measure(&input.name, method, &sym, clusterer, truth);
+            let parallel = result
+                .records
+                .iter()
+                .find(|r| {
+                    r.symmetrization == serial.symmetrization && r.algorithm == serial.algorithm
+                })
+                .unwrap_or_else(|| panic!("missing record for {}", method.name()));
+            assert_eq!(parallel.f_score, serial.f_score, "{}", method.name());
+            assert_eq!(parallel.n_clusters, serial.n_clusters, "{}", method.name());
+            assert_eq!(parallel.sym_edges, serial.sym_edges, "{}", method.name());
+        }
+    }
+
+    // Records come back in plan order (method-major).
+    let order: Vec<&str> = result
+        .records
+        .iter()
+        .map(|r| r.symmetrization.as_str())
+        .collect();
+    assert_eq!(
+        order,
+        vec![
+            "Degree-discounted",
+            "Degree-discounted",
+            "Bibliometric",
+            "Bibliometric",
+            "A+A'",
+            "A+A'",
+            "Random Walk",
+            "Random Walk",
+        ]
+    );
+}
+
+/// Two sweeps on one engine share the cache: the second sweep re-uses all
+/// four symmetrizations (pure hits, zero new computations).
+#[test]
+fn second_sweep_on_same_engine_is_all_cache_hits() {
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: SymMethod::lineup(0.0, 0.0),
+        clusterers: vec![Clusterer::Metis { k: 10 }],
+        extra_prune: None,
+    };
+    let engine = Engine::new(EngineOptions {
+        threads: 2,
+        stage_deadline: None,
+    });
+    let first = engine.run(&input, &spec, &|_| {});
+    assert_eq!(first.cache.misses, 4);
+    // Sweep a different clusterer: same methods, so zero recomputation.
+    let spec2 = PipelineSpec {
+        clusterers: vec![Clusterer::Graclus { k: 10 }],
+        ..spec
+    };
+    let second = engine.run(&input, &spec2, &|_| {});
+    assert_eq!(second.cache.misses, 0, "second sweep recomputed");
+    assert_eq!(second.cache.hits, 4);
+    assert_eq!(second.records.len(), 4);
+}
+
+/// Cancelling mid-sweep keeps the records of chains that already finished
+/// and marks the rest skipped — partial results, not an all-or-nothing
+/// failure.
+#[test]
+fn cancellation_surfaces_partial_results() {
+    let input = small_input();
+    let spec = four_by_two_spec();
+    // Single worker => strictly serial chain completion; cancel as soon
+    // as the first record lands.
+    let engine = Engine::new(EngineOptions {
+        threads: 1,
+        stage_deadline: None,
+    });
+    let token = CancelToken::new();
+    let sink_token = token.clone();
+    let result = engine.run_cancellable(&input, &spec, &token, &|e| {
+        if matches!(
+            e,
+            Event::StageFinished {
+                stage: StageKind::Evaluate,
+                ..
+            }
+        ) {
+            sink_token.cancel();
+        }
+    });
+    assert!(result.cancelled);
+    assert!(
+        !result.records.is_empty(),
+        "completed records must survive cancellation"
+    );
+    assert!(
+        result.records.len() < 8,
+        "cancellation should have cut the sweep short"
+    );
+    assert!(result.skipped > 0);
+    assert!(result.failures.is_empty());
+}
+
+/// A token cancelled before the run starts yields an empty, fully-skipped
+/// result without executing anything.
+#[test]
+fn pre_cancelled_token_skips_everything() {
+    let input = small_input();
+    let spec = four_by_two_spec();
+    let engine = Engine::default();
+    let token = CancelToken::new();
+    token.cancel();
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let result = engine.run_cancellable(&input, &spec, &token, &|e| events.lock().unwrap().push(e));
+    assert!(result.cancelled);
+    assert!(result.records.is_empty());
+    assert_eq!(result.skipped, 25); // 1 load + 8 × 3 stages
+    assert_eq!(engine.cache_stats().misses, 0, "no work should have run");
+    let events = events.into_inner().unwrap();
+    assert!(events
+        .iter()
+        .all(|e| matches!(e, Event::Cancelled { .. } | Event::Progress { .. })));
+}
+
+/// An already-expired per-stage deadline cancels every stage promptly but
+/// does NOT mark the sweep as externally cancelled; the engine still
+/// settles all nodes.
+#[test]
+fn zero_stage_deadline_skips_all_stages() {
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: vec![SymMethod::PlusTranspose],
+        clusterers: vec![Clusterer::Metis { k: 10 }],
+        extra_prune: None,
+    };
+    let engine = Engine::new(EngineOptions {
+        threads: 2,
+        stage_deadline: Some(std::time::Duration::ZERO),
+    });
+    let result = engine.run(&input, &spec, &|_| {});
+    assert!(!result.cancelled, "run token never tripped");
+    assert!(result.records.is_empty());
+    assert!(result.skipped > 0);
+}
+
+/// The optional prune stage thresholds the symmetrized graph before
+/// clustering and is itself cached.
+#[test]
+fn extra_prune_stage_reduces_edges() {
+    let input = small_input();
+    let base = PipelineSpec {
+        methods: vec![SymMethod::Bibliometric { threshold: 0.0 }],
+        clusterers: vec![Clusterer::Metis { k: 10 }],
+        extra_prune: None,
+    };
+    let engine = Engine::default();
+    let unpruned = engine.run(&input, &base, &|_| {});
+    let pruned_spec = PipelineSpec {
+        extra_prune: Some(2.0),
+        ..base
+    };
+    let pruned = engine.run(&input, &pruned_spec, &|_| {});
+    assert!(unpruned.failures.is_empty() && pruned.failures.is_empty());
+    let before = unpruned.records[0].sym_edges;
+    let after = pruned.records[0].sym_edges;
+    assert!(
+        after < before,
+        "prune at 2.0 should drop weight-1 pairs ({after} !< {before})"
+    );
+}

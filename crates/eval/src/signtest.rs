@@ -124,16 +124,13 @@ mod tests {
     fn ln_gamma_matches_factorials() {
         // Γ(n) = (n-1)!
         for (n, fact) in [
-            (1.0, 1.0),
+            (1.0, 1.0f64),
             (2.0, 1.0),
             (3.0, 2.0),
             (5.0, 24.0),
             (7.0, 720.0),
         ] {
-            assert!(
-                (ln_gamma(n) - (fact as f64).ln()).abs() < 1e-9,
-                "ln_gamma({n})"
-            );
+            assert!((ln_gamma(n) - fact.ln()).abs() < 1e-9, "ln_gamma({n})");
         }
     }
 

@@ -138,9 +138,7 @@ pub fn shared_link_dsbm(cfg: &SharedLinkDsbmConfig) -> Result<GeneratedGraph> {
     for c in 0..k {
         let size = base + usize::from(c < rem);
         cluster_ranges.push((next, next + size));
-        for node in next..next + size {
-            planted[node] = c as u32;
-        }
+        planted[next..next + size].fill(c as u32);
         next += size;
     }
     let hubs: Vec<usize> = (n_clustered..n).collect();

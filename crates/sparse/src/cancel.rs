@@ -1,0 +1,145 @@
+//! Cooperative cancellation for long-running kernels.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle that computations poll at
+//! natural checkpoints (SpGEMM rows, power-iteration steps, R-MCL
+//! iterations). Cancellation has two sources that both trip the same flag:
+//! an explicit [`CancelToken::cancel`] call from another thread, and an
+//! optional deadline fixed at construction. Once tripped a token never
+//! resets, so every worker sharing it winds down.
+//!
+//! Polling cost: a relaxed atomic load. Deadline expiry additionally costs
+//! an `Instant::now()` once every [`DEADLINE_POLL_STRIDE`] polls, keeping
+//! per-row overhead negligible next to the arithmetic it guards.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::SparseError;
+
+/// How many polls elapse between deadline clock reads.
+pub const DEADLINE_POLL_STRIDE: u32 = 64;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    polls: AtomicU32,
+}
+
+/// Shared cancellation handle. Clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](Self::cancel) is called.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                polls: AtomicU32::new(0),
+            }),
+        }
+    }
+
+    /// A token that additionally trips once `timeout` has elapsed.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                polls: AtomicU32::new(0),
+            }),
+        }
+    }
+
+    /// Requests cancellation; irrevocable.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            let poll = self.inner.polls.fetch_add(1, Ordering::Relaxed);
+            if poll.is_multiple_of(DEADLINE_POLL_STRIDE) && Instant::now() >= deadline {
+                self.inner.cancelled.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Poll point for kernels: `Err(SparseError::Cancelled)` once tripped.
+    #[inline]
+    pub fn checkpoint(&self) -> crate::Result<()> {
+        if self.is_cancelled() {
+            Err(SparseError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn cancel_is_seen_by_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.checkpoint(), Err(SparseError::Cancelled));
+    }
+
+    #[test]
+    fn deadline_trips_after_timeout() {
+        let t = CancelToken::with_deadline(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        // First poll reads the clock (poll counter starts at 0).
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_in_the_future_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        for _ in 0..1000 {
+            assert!(!t.is_cancelled());
+        }
+    }
+
+    #[test]
+    fn cancel_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        let h = std::thread::spawn(move || {
+            while !c.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        t.cancel();
+        assert!(h.join().unwrap());
+    }
+}

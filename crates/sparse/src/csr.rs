@@ -177,9 +177,9 @@ impl CsrMatrix {
     /// Converts to a dense row-major representation (small matrices / tests).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut out = vec![vec![0.0; self.n_cols]; self.n_rows];
-        for row in 0..self.n_rows {
+        for (row, out_row) in out.iter_mut().enumerate() {
             for (col, v) in self.row_iter(row) {
-                out[row][col as usize] = v;
+                out_row[col as usize] = v;
             }
         }
         out
@@ -290,12 +290,12 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.n_rows];
-        for row in 0..self.n_rows {
+        for (row, y_row) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (col, v) in self.row_iter(row) {
                 acc += v * x[col as usize];
             }
-            y[row] = acc;
+            *y_row = acc;
         }
         Ok(y)
     }
@@ -310,8 +310,7 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0; self.n_cols];
-        for row in 0..self.n_rows {
-            let xr = x[row];
+        for (row, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -368,6 +367,38 @@ impl CsrMatrix {
             .all(|(a, b)| (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0))
     }
 
+    /// Largest relative asymmetry `|a_ij − a_ji| / max(|a_ij|, |a_ji|, 1)`
+    /// over all stored entries — the quantity [`CsrMatrix::is_symmetric`]
+    /// compares against `tol`, useful for reporting *how* asymmetric a
+    /// matrix is. Returns `f64::INFINITY` for non-square matrices.
+    pub fn max_asymmetry(&self) -> f64 {
+        if self.n_rows != self.n_cols {
+            return f64::INFINITY;
+        }
+        let t = crate::ops::transpose(self);
+        let mut entries: std::collections::HashMap<(usize, u32), f64> =
+            std::collections::HashMap::new();
+        for i in 0..self.n_rows {
+            for idx in self.indptr[i]..self.indptr[i + 1] {
+                entries.insert((i, self.indices[idx]), self.values[idx]);
+            }
+        }
+        let mut worst = 0.0f64;
+        // t(i,j) == self(j,i): compare each mirrored pair, treating entries
+        // stored on only one side as paired with an implicit zero.
+        for i in 0..t.n_rows {
+            for idx in t.indptr[i]..t.indptr[i + 1] {
+                let b = t.values[idx];
+                let a = entries.remove(&(i, t.indices[idx])).unwrap_or(0.0);
+                worst = worst.max((a - b).abs() / a.abs().max(b.abs()).max(1.0));
+            }
+        }
+        for a in entries.into_values() {
+            worst = worst.max(a.abs() / a.abs().max(1.0));
+        }
+        worst
+    }
+
     /// Frobenius norm of the stored entries.
     pub fn frobenius_norm(&self) -> f64 {
         self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
@@ -408,6 +439,27 @@ mod tests {
         }
         assert!(m.is_symmetric(0.0));
         m.validate().unwrap();
+    }
+
+    #[test]
+    fn max_asymmetry_measures_worst_mirrored_pair() {
+        // Symmetric matrix: zero asymmetry.
+        let s = CsrMatrix::from_dense(&[vec![0.0, 2.0], vec![2.0, 0.0]]);
+        assert_eq!(s.max_asymmetry(), 0.0);
+        assert!(s.is_symmetric(0.0));
+        // sample(): (0,2)=2 vs (2,0)=3 → |2−3|/3; (2,1)=4 unmatched → 4/4 = 1.
+        let m = sample();
+        assert!((m.max_asymmetry() - 1.0).abs() < 1e-15);
+        assert!(!m.is_symmetric(0.5));
+        // Slightly perturbed symmetric pair: asymmetry matches the relative
+        // tolerance scale used by is_symmetric.
+        let p = CsrMatrix::from_dense(&[vec![0.0, 10.0], vec![10.1, 0.0]]);
+        let asym = p.max_asymmetry();
+        assert!((asym - 0.1 / 10.1).abs() < 1e-12, "{asym}");
+        assert!(p.is_symmetric(asym + 1e-12));
+        assert!(!p.is_symmetric(asym - 1e-12));
+        // Non-square: infinite.
+        assert_eq!(CsrMatrix::zeros(2, 3).max_asymmetry(), f64::INFINITY);
     }
 
     #[test]

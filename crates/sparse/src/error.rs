@@ -26,6 +26,10 @@ pub enum SparseError {
     },
     /// An argument was outside its documented domain.
     InvalidArgument(String),
+    /// The operation was cancelled (explicitly or by deadline) via a
+    /// [`CancelToken`](crate::cancel::CancelToken); any partial output was
+    /// discarded.
+    Cancelled,
 }
 
 impl fmt::Display for SparseError {
@@ -41,6 +45,7 @@ impl fmt::Display for SparseError {
                 write!(f, "{what} failed to converge after {iterations} iterations")
             }
             SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            SparseError::Cancelled => write!(f, "operation cancelled"),
         }
     }
 }

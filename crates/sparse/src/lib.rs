@@ -23,6 +23,7 @@
 //! to ~4 billion vertices are representable, far beyond what the in-memory
 //! algorithms here will be asked to handle.
 
+pub mod cancel;
 pub mod coo;
 pub mod csr;
 pub mod dense;
@@ -32,12 +33,13 @@ pub mod ops;
 pub mod pagerank;
 pub mod spgemm;
 
+pub use cancel::CancelToken;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use lanczos::{lanczos_smallest, tridiagonal_eigen, LanczosOptions, LanczosResult};
 pub use pagerank::{pagerank, stationary_distribution, PageRankOptions, PageRankResult};
-pub use spgemm::{spgemm, spgemm_parallel, spgemm_thresholded, SpgemmOptions};
+pub use spgemm::{spgemm, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, SpgemmOptions};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

@@ -88,8 +88,7 @@ pub fn pagerank(a: &CsrMatrix, opts: &PageRankOptions) -> Result<PageRankResult>
             }
         }
         next.iter_mut().for_each(|x| *x = 0.0);
-        for row in 0..n {
-            let mass = pi[row];
+        for (row, &mass) in pi.iter().enumerate() {
             if mass == 0.0 {
                 continue;
             }

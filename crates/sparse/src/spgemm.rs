@@ -11,6 +11,7 @@
 //! (§3.5 of the paper). The parallel variant partitions output rows across
 //! crossbeam scoped threads with per-thread accumulators.
 
+use crate::cancel::CancelToken;
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
 use crate::Result;
@@ -53,6 +54,7 @@ fn check_dims(a: &CsrMatrix, b: &CsrMatrix) -> Result<()> {
 /// Computes one output row into the accumulator and flushes entries that pass
 /// the threshold into `(indices, values)`.
 #[inline]
+#[allow(clippy::too_many_arguments)] // internal hot-path helper: the scratch buffers are deliberately caller-owned
 fn gustavson_row(
     a: &CsrMatrix,
     b: &CsrMatrix,
@@ -91,6 +93,30 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
 
 /// Serial Gustavson SpGEMM with on-the-fly pruning per [`SpgemmOptions`].
 pub fn spgemm_thresholded(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) -> Result<CsrMatrix> {
+    spgemm_serial_with_token(a, b, opts, None)
+}
+
+/// [`spgemm_thresholded`] that polls `token` between output rows and bails
+/// out with [`SparseError::Cancelled`] once it trips.
+pub fn spgemm_cancellable(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    opts: &SpgemmOptions,
+    token: &CancelToken,
+) -> Result<CsrMatrix> {
+    if opts.n_threads != 1 {
+        spgemm_parallel_with_token(a, b, opts, Some(token))
+    } else {
+        spgemm_serial_with_token(a, b, opts, Some(token))
+    }
+}
+
+fn spgemm_serial_with_token(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    opts: &SpgemmOptions,
+    token: Option<&CancelToken>,
+) -> Result<CsrMatrix> {
     check_dims(a, b)?;
     let n_rows = a.n_rows();
     let n_cols = b.n_cols();
@@ -101,6 +127,9 @@ pub fn spgemm_thresholded(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) ->
     let mut indices = Vec::new();
     let mut values = Vec::new();
     for row in 0..n_rows {
+        if let Some(t) = token {
+            t.checkpoint()?;
+        }
         gustavson_row(
             a,
             b,
@@ -122,6 +151,15 @@ pub fn spgemm_thresholded(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) ->
 /// worker; each worker runs Gustavson with its own accumulator, and the
 /// chunks are stitched together afterwards.
 pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) -> Result<CsrMatrix> {
+    spgemm_parallel_with_token(a, b, opts, None)
+}
+
+fn spgemm_parallel_with_token(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    opts: &SpgemmOptions,
+    token: Option<&CancelToken>,
+) -> Result<CsrMatrix> {
     check_dims(a, b)?;
     let n_rows = a.n_rows();
     let n_cols = b.n_cols();
@@ -131,7 +169,7 @@ pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) -> Re
         opts.n_threads
     };
     if n_threads <= 1 || n_rows < 2 * n_threads {
-        return spgemm_thresholded(a, b, opts);
+        return spgemm_serial_with_token(a, b, opts, token);
     }
 
     // Balance chunks by FLOP estimate (sum over rows of Σ nnz(B[k,:])).
@@ -157,20 +195,23 @@ pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) -> Re
     bounds.push(n_rows);
 
     let n_chunks = bounds.len() - 1;
-    let mut results: Vec<Option<(Vec<usize>, Vec<u32>, Vec<f64>)>> =
-        (0..n_chunks).map(|_| None).collect();
+    type ChunkResult = Result<(Vec<usize>, Vec<u32>, Vec<f64>)>;
+    let mut results: Vec<Option<ChunkResult>> = (0..n_chunks).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_chunks);
         for chunk in 0..n_chunks {
             let (lo, hi) = (bounds[chunk], bounds[chunk + 1]);
             let opts = *opts;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move |_| -> ChunkResult {
                 let mut acc = vec![0.0f64; n_cols];
                 let mut touched: Vec<u32> = Vec::new();
                 let mut row_lens = Vec::with_capacity(hi - lo);
                 let mut indices = Vec::new();
                 let mut values = Vec::new();
                 for row in lo..hi {
+                    if let Some(t) = token {
+                        t.checkpoint()?;
+                    }
                     let before = indices.len();
                     gustavson_row(
                         a,
@@ -184,7 +225,7 @@ pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) -> Re
                     );
                     row_lens.push(indices.len() - before);
                 }
-                (row_lens, indices, values)
+                Ok((row_lens, indices, values))
             }));
         }
         for (chunk, handle) in handles.into_iter().enumerate() {
@@ -193,16 +234,16 @@ pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) -> Re
     })
     .expect("crossbeam scope failed");
 
+    let mut chunks = Vec::with_capacity(n_chunks);
+    for r in results.into_iter() {
+        chunks.push(r.expect("missing spgemm chunk")?);
+    }
     let mut indptr = Vec::with_capacity(n_rows + 1);
     indptr.push(0usize);
-    let total_nnz: usize = results
-        .iter()
-        .map(|r| r.as_ref().map_or(0, |(_, idx, _)| idx.len()))
-        .sum();
+    let total_nnz: usize = chunks.iter().map(|(_, idx, _)| idx.len()).sum();
     let mut indices = Vec::with_capacity(total_nnz);
     let mut values = Vec::with_capacity(total_nnz);
-    for r in results.into_iter() {
-        let (row_lens, idx, vals) = r.expect("missing spgemm chunk");
+    for (row_lens, idx, vals) in chunks {
         for len in row_lens {
             indptr.push(indptr.last().unwrap() + len);
         }
@@ -360,6 +401,33 @@ mod tests {
             ..Default::default()
         };
         let c = spgemm_parallel(&a, &a, &opts).unwrap();
+        assert_eq!(c, spgemm(&a, &a).unwrap());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_serial_and_parallel() {
+        let a = CsrMatrix::from_dense(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let serial = spgemm_cancellable(&a, &a, &SpgemmOptions::default(), &token);
+        assert_eq!(serial, Err(SparseError::Cancelled));
+        let opts = SpgemmOptions {
+            n_threads: 4,
+            ..Default::default()
+        };
+        let parallel = spgemm_cancellable(&a, &a, &opts, &token);
+        assert_eq!(parallel, Err(SparseError::Cancelled));
+    }
+
+    #[test]
+    fn live_token_matches_uncancelled_result() {
+        let a = CsrMatrix::from_dense(&[
+            vec![1.0, 2.0, 0.0],
+            vec![0.0, 3.0, 4.0],
+            vec![1.0, 0.0, 1.0],
+        ]);
+        let token = crate::cancel::CancelToken::new();
+        let c = spgemm_cancellable(&a, &a, &SpgemmOptions::default(), &token).unwrap();
         assert_eq!(c, spgemm(&a, &a).unwrap());
     }
 

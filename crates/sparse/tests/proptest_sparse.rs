@@ -77,10 +77,10 @@ proptest! {
         let c = spgemm(&a, &b).unwrap();
         prop_assert!(c.validate().is_ok());
         let expected = dense_mul(&a, &b);
-        for i in 0..c.n_rows() {
-            for j in 0..c.n_cols() {
-                prop_assert!((c.get(i, j) - expected[i][j]).abs() < 1e-9,
-                    "mismatch at ({i},{j}): {} vs {}", c.get(i, j), expected[i][j]);
+        for (i, exp_row) in expected.iter().enumerate() {
+            for (j, &e) in exp_row.iter().enumerate() {
+                prop_assert!((c.get(i, j) - e).abs() < 1e-9,
+                    "mismatch at ({i},{j}): {} vs {}", c.get(i, j), e);
             }
         }
     }

@@ -13,6 +13,9 @@ use std::time::Instant;
 use symclust::cluster::{BestWCut, BestWCutOptions, SpectralClustering};
 use symclust::prelude::*;
 
+/// A labeled pipeline to time: (display name, deferred clustering run).
+type Run<'a> = (&'a str, Box<dyn Fn() -> Clustering + 'a>);
+
 fn main() {
     let dataset = symclust::datasets::cora_like_scaled(1500);
     let truth = dataset.truth.as_ref().expect("ground truth");
@@ -32,7 +35,7 @@ fn main() {
         "{:<28} {:>6} {:>9} {:>10}",
         "algorithm", "k", "F", "time(ms)"
     );
-    let runs: Vec<(&str, Box<dyn Fn() -> Clustering>)> = vec![
+    let runs: Vec<Run> = vec![
         (
             "DD + MLR-MCL",
             Box::new(|| MlrMcl::with_inflation(2.0).cluster(&sym).expect("mcl")),
