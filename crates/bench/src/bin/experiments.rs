@@ -316,6 +316,8 @@ fn fig6(cfg: &Config) {
             cluster_secs: secs,
             symmetrize_secs: 0.0,
             sym_edges: d.graph.n_edges(),
+            degraded: false,
+            converged: clustering.converged(),
         });
     }
     print_records("Figure 6: Degree-discounted vs BestWCut on Cora", &records);

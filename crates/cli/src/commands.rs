@@ -8,7 +8,7 @@ use symclust_cluster::{
 use symclust_core::{select_threshold, DegreeDiscountedOptions, DiscountExponent};
 use symclust_engine::{
     print_records, select_thresholds, Clusterer, Engine, EngineOptions, PipelineInput,
-    PipelineSpec, SymMethod,
+    PipelineSpec, RetryPolicy, SymMethod,
 };
 use symclust_eval::avg_f_score;
 use symclust_graph::generators::{
@@ -305,11 +305,21 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
         clusterers,
         extra_prune: args.get::<f64>("prune")?,
     };
+    let retries: usize = args.get_or("retries", RetryPolicy::default().max_attempts)?;
+    if retries == 0 {
+        return Err("--retries must be at least 1 (it counts total attempts)".into());
+    }
     let opts = EngineOptions {
         threads: args.get_or("threads", 0usize)?,
         stage_deadline: args
             .get::<f64>("timeout-secs")?
             .map(std::time::Duration::from_secs_f64),
+        retry: RetryPolicy {
+            max_attempts: retries,
+            ..Default::default()
+        },
+        memory_budget: args.get::<usize>("memory-budget")?,
+        journal: args.optional("resume").map(std::path::PathBuf::from),
     };
     let quiet: bool = args.get_or("quiet", false)?;
 
@@ -342,9 +352,16 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
 
     print_records("pipeline results", &result.records);
     println!(
-        "\ncache: {} hits / {} misses; stages skipped: {}",
-        result.cache.hits, result.cache.misses, result.skipped
+        "\ncache: {} hits / {} misses; stages skipped: {}; chains resumed: {}",
+        result.cache.hits, result.cache.misses, result.skipped, result.resumed
     );
+    let degraded = result.records.iter().filter(|r| r.degraded).count();
+    if degraded > 0 {
+        println!(
+            "{degraded} record(s) ran in degraded (budget-limited) mode — \
+             see the notes column"
+        );
+    }
     for (label, err) in &result.failures {
         eprintln!("warning: stage `{label}` failed: {err}");
     }
@@ -546,6 +563,84 @@ mod tests {
         let hits = evs.lines().filter(|l| l.contains("\"cache_hit\"")).count();
         assert_eq!(hits, 4, "{evs}");
         assert!(evs.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn pipeline_resume_skips_journaled_chains() {
+        let journal = tmp("pipeline_journal.jsonl");
+        std::fs::remove_file(&journal).ok();
+        let events = tmp("resume_events.jsonl");
+        let records = tmp("resume_records.jsonl");
+        let base = [
+            ("model", "dsbm"),
+            ("nodes", "300"),
+            ("clusters", "6"),
+            ("clusterers", "metis"),
+            ("quiet", "true"),
+            ("resume", journal.as_str()),
+        ];
+        pipeline(&args(&base)).unwrap();
+        // 4 methods × 1 clusterer = 4 completed chains journaled.
+        let journaled = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(journaled.lines().count(), 4, "{journaled}");
+        assert!(journaled.lines().all(|l| l.contains("\"chain_key\":")));
+
+        // Second run against the same journal resumes every chain: records
+        // are reproduced, but no stage beyond Load executes.
+        let mut rerun = base.to_vec();
+        rerun.push(("events", events.as_str()));
+        rerun.push(("records", records.as_str()));
+        pipeline(&args(&rerun)).unwrap();
+        let recs = std::fs::read_to_string(&records).unwrap();
+        assert_eq!(recs.lines().count(), 4, "{recs}");
+        let evs = std::fs::read_to_string(&events).unwrap();
+        let resumed = evs
+            .lines()
+            .filter(|l| l.contains("\"stage_resumed\""))
+            .count();
+        assert_eq!(resumed, 12, "3 resumed stages per chain:\n{evs}");
+        let restarted = evs
+            .lines()
+            .filter(|l| l.contains("\"stage_started\"") && l.contains("\"symmetrize\""))
+            .count();
+        assert_eq!(restarted, 0, "no symmetrization may re-execute:\n{evs}");
+        std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn pipeline_memory_budget_marks_degraded_records() {
+        let records = tmp("budget_records.jsonl");
+        pipeline(&args(&[
+            ("model", "dsbm"),
+            ("nodes", "300"),
+            ("clusters", "6"),
+            ("clusterers", "metis"),
+            ("memory-budget", "100"),
+            ("quiet", "true"),
+            ("records", &records),
+        ]))
+        .unwrap();
+        let recs = std::fs::read_to_string(&records).unwrap();
+        assert_eq!(recs.lines().count(), 4, "{recs}");
+        // The two SpGEMM-based similarity methods degrade under a 100-entry
+        // budget; A+A' and RW never allocate a product and stay exact.
+        let degraded = recs
+            .lines()
+            .filter(|l| l.contains("\"degraded\":true"))
+            .count();
+        assert_eq!(degraded, 2, "{recs}");
+    }
+
+    #[test]
+    fn pipeline_rejects_zero_retries() {
+        let err = pipeline(&args(&[
+            ("model", "dsbm"),
+            ("nodes", "300"),
+            ("retries", "0"),
+            ("quiet", "true"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--retries"), "{err}");
     }
 
     #[test]

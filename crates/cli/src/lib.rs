@@ -84,7 +84,8 @@ SUBCOMMANDS:
               (--input FILE [--truth FILE] | --model NAME [--nodes N])
               [--clusterers mlrmcl,metis,graclus] [--k K] [--inflation I]
               [--target-degree D | --threshold T] [--prune T]
-              [--threads N] [--timeout-secs S]
+              [--threads N] [--timeout-secs S] [--retries N]
+              [--memory-budget ENTRIES] [--resume JOURNAL.jsonl]
               [--events FILE] [--records FILE] [--quiet true]
   eval        score a clustering against ground truth
               --clusters FILE --truth FILE

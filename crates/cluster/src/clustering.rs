@@ -8,6 +8,7 @@
 pub struct Clustering {
     assignments: Vec<u32>,
     n_clusters: usize,
+    converged: bool,
 }
 
 impl Clustering {
@@ -24,6 +25,7 @@ impl Clustering {
         Clustering {
             assignments,
             n_clusters: remap.len(),
+            converged: true,
         }
     }
 
@@ -32,6 +34,7 @@ impl Clustering {
         Clustering {
             assignments: vec![0; n],
             n_clusters: usize::from(n > 0),
+            converged: true,
         }
     }
 
@@ -40,7 +43,23 @@ impl Clustering {
         Clustering {
             assignments: (0..n as u32).collect(),
             n_clusters: n,
+            converged: true,
         }
+    }
+
+    /// Marks whether the producing algorithm converged. Iterative
+    /// algorithms (MCL, MLR-MCL) that exhaust their iteration budget return
+    /// the best-effort clustering flagged `converged = false` instead of an
+    /// opaque error; direct algorithms leave the default `true`.
+    pub fn with_converged(mut self, converged: bool) -> Self {
+        self.converged = converged;
+        self
+    }
+
+    /// False when the producing algorithm hit its iteration budget without
+    /// converging (the clustering is best-effort).
+    pub fn converged(&self) -> bool {
+        self.converged
     }
 
     /// Number of nodes.
@@ -122,6 +141,16 @@ mod tests {
     fn singleton_count() {
         let c = Clustering::from_assignments(&[0, 1, 2, 2]);
         assert_eq!(c.n_singleton_clusters(), 2);
+    }
+
+    #[test]
+    fn converged_flag_defaults_true_and_is_settable() {
+        let c = Clustering::from_assignments(&[0, 1]);
+        assert!(c.converged());
+        let c = c.with_converged(false);
+        assert!(!c.converged());
+        assert!(Clustering::single_cluster(2).converged());
+        assert!(Clustering::singletons(2).converged());
     }
 
     #[test]

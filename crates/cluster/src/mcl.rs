@@ -437,7 +437,7 @@ pub fn rmcl(g: &UnGraph, opts: &MclOptions) -> Result<MclResult> {
     }
     let m_g = canonical_flow_capped(g, opts.max_graph_row_nnz);
     let (flow, iterations, converged) = rmcl_iterate(&m_g, m_g.clone(), opts, opts.max_iter)?;
-    let clustering = extract_clusters(&flow);
+    let clustering = extract_clusters(&flow).with_converged(converged);
     Ok(MclResult {
         clustering,
         flow,

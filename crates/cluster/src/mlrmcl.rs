@@ -144,7 +144,7 @@ impl MlrMcl {
         // R-MCL to convergence on the coarsest graph.
         let coarsest = levels.last().map(|l| &l.graph).unwrap_or(g);
         let m_g_coarse = canonical_flow_capped(coarsest, self.options.mcl.max_graph_row_nnz);
-        let (mut flow, _, _) = rmcl_iterate_with(
+        let (mut flow, _, mut converged) = rmcl_iterate_with(
             &m_g_coarse,
             m_g_coarse.clone(),
             &self.options.mcl,
@@ -170,11 +170,18 @@ impl MlrMcl {
             } else {
                 self.options.iterations_per_level
             };
-            let (refined, _, _) =
+            let (refined, _, level_converged) =
                 rmcl_iterate_with(&m_g_fine, projected, &self.options.mcl, iters, token)?;
             flow = refined;
+            // Only the final (level-0) run gets the full iteration budget;
+            // its convergence is what the best-effort flag reports.
+            // Intermediate levels run a fixed handful of refinement steps
+            // and are not expected to converge.
+            if level_idx == 0 {
+                converged = level_converged;
+            }
         }
-        Ok(extract_clusters(&flow))
+        Ok(extract_clusters(&flow).with_converged(converged))
     }
 }
 
@@ -296,6 +303,21 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(MlrMcl::default().name(), "MLR-MCL");
+    }
+
+    #[test]
+    fn converged_flag_reports_exhausted_iteration_budget() {
+        let g = clique_ring(8, 6);
+        // A run with a normal budget converges and says so.
+        let ok = MlrMcl::default().cluster_ungraph(&g).unwrap();
+        assert!(ok.converged());
+        // One single iteration cannot converge on this graph: the result is
+        // best-effort and flagged, not an error.
+        let mut options = MlrMclOptions::default();
+        options.mcl.max_iter = 1;
+        let best_effort = MlrMcl { options }.cluster_ungraph(&g).unwrap();
+        assert!(!best_effort.converged());
+        assert_eq!(best_effort.n_nodes(), g.n_nodes());
     }
 
     #[test]

@@ -17,7 +17,8 @@ use crate::{Result, SymmetrizedGraph, Symmetrizer};
 use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
 use symclust_sparse::{
-    ops, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, CancelToken, SpgemmOptions,
+    ops, spgemm_budgeted, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, CancelToken,
+    SpgemmOptions,
 };
 
 /// Options for [`Bibliometric`].
@@ -31,6 +32,11 @@ pub struct BibliometricOptions {
     /// Use the crossbeam-parallel SpGEMM. Default false (deterministic
     /// single-thread timing).
     pub parallel: bool,
+    /// Memory budget as a cap on the stored nnz of each SpGEMM product.
+    /// When the Gustavson upper bound exceeds it, the product degrades to
+    /// an adaptively thresholded multiply instead of aborting; the result
+    /// is flagged [`SymmetrizedGraph::degraded`]. Default `None` (exact).
+    pub nnz_budget: Option<usize>,
 }
 
 impl Default for BibliometricOptions {
@@ -39,6 +45,7 @@ impl Default for BibliometricOptions {
             add_identity: true,
             threshold: 0.0,
             parallel: false,
+            nnz_budget: None,
         }
     }
 }
@@ -66,18 +73,22 @@ impl Bibliometric {
         a: &symclust_sparse::CsrMatrix,
         b: &symclust_sparse::CsrMatrix,
         token: Option<&CancelToken>,
-    ) -> Result<symclust_sparse::CsrMatrix> {
+    ) -> Result<(symclust_sparse::CsrMatrix, bool)> {
         let opts = SpgemmOptions {
             threshold: self.options.threshold,
             drop_diagonal: true,
             n_threads: if self.options.parallel { 0 } else { 1 },
         };
+        if let Some(budget) = self.options.nnz_budget {
+            let r = spgemm_budgeted(a, b, &opts, budget, token)?;
+            return Ok((r.matrix, r.degraded));
+        }
         let m = match token {
             Some(t) => spgemm_cancellable(a, b, &opts, t)?,
             None if self.options.parallel => spgemm_parallel(a, b, &opts)?,
             None => spgemm_thresholded(a, b, &opts)?,
         };
-        Ok(m)
+        Ok((m, false))
     }
 
     fn symmetrize_with(
@@ -93,8 +104,8 @@ impl Bibliometric {
             a_base.clone()
         };
         let at = ops::transpose(&a);
-        let coupling = self.multiply(&a, &at, token)?; // AAᵀ
-        let cocitation = self.multiply(&at, &a, token)?; // AᵀA
+        let (coupling, coupling_degraded) = self.multiply(&a, &at, token)?; // AAᵀ
+        let (cocitation, cocitation_degraded) = self.multiply(&at, &a, token)?; // AᵀA
         let mut u = ops::add(&coupling, &cocitation)?;
         if self.options.threshold > 0.0 {
             u = ops::prune(&u, self.options.threshold).0;
@@ -103,12 +114,10 @@ impl Bibliometric {
         if let Some(labels) = g.labels() {
             un = un.with_labels(labels.to_vec())?;
         }
-        Ok(SymmetrizedGraph::new(
-            un,
-            self.name(),
-            self.options.threshold,
-            start.elapsed(),
-        ))
+        Ok(
+            SymmetrizedGraph::new(un, self.name(), self.options.threshold, start.elapsed())
+                .with_degraded(coupling_degraded || cocitation_degraded),
+        )
     }
 }
 
@@ -214,7 +223,7 @@ mod tests {
             options: BibliometricOptions {
                 add_identity: false,
                 threshold: 3.0,
-                parallel: false,
+                ..Default::default()
             },
         }
         .symmetrize(&g)
@@ -239,6 +248,51 @@ mod tests {
         .symmetrize(&g)
         .unwrap();
         assert_eq!(serial.adjacency(), parallel.adjacency());
+    }
+
+    #[test]
+    fn generous_budget_is_exact_and_not_degraded() {
+        let g = figure1_graph();
+        let exact = Bibliometric::default().symmetrize(&g).unwrap();
+        let budgeted = Bibliometric {
+            options: BibliometricOptions {
+                nnz_budget: Some(1_000_000),
+                ..Default::default()
+            },
+        }
+        .symmetrize(&g)
+        .unwrap();
+        assert!(!budgeted.degraded());
+        assert_eq!(exact.adjacency(), budgeted.adjacency());
+    }
+
+    #[test]
+    fn tight_budget_degrades_on_hub_graph() {
+        // Star: co-citation densifies into all leaf pairs; a tiny budget
+        // must force the thresholded fallback rather than abort.
+        let g = star_graph(40);
+        let s = Bibliometric {
+            options: BibliometricOptions {
+                add_identity: false,
+                nnz_budget: Some(20),
+                ..Default::default()
+            },
+        }
+        .symmetrize(&g)
+        .unwrap();
+        assert!(s.degraded(), "tiny budget on a hub graph must degrade");
+        assert!(s.adjacency().is_symmetric(1e-12));
+        // Deterministic: rerunning yields the identical graph.
+        let again = Bibliometric {
+            options: BibliometricOptions {
+                add_identity: false,
+                nnz_budget: Some(20),
+                ..Default::default()
+            },
+        }
+        .symmetrize(&g)
+        .unwrap();
+        assert_eq!(s.adjacency(), again.adjacency());
     }
 
     #[test]

@@ -26,8 +26,8 @@ use crate::{Result, SymmetrizeError, SymmetrizedGraph, Symmetrizer};
 use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
 use symclust_sparse::{
-    ops, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, CancelToken, CsrMatrix,
-    SpgemmOptions,
+    ops, spgemm_budgeted, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, CancelToken,
+    CsrMatrix, SpgemmOptions,
 };
 
 /// How a node's degree discounts its similarity contributions (Table 4 rows).
@@ -79,6 +79,11 @@ pub struct DegreeDiscountedOptions {
     pub add_identity: bool,
     /// Use the crossbeam-parallel SpGEMM.
     pub parallel: bool,
+    /// Memory budget as a cap on the stored nnz of each SpGEMM product.
+    /// When the Gustavson upper bound exceeds it, the product degrades to
+    /// an adaptively thresholded multiply instead of aborting; the result
+    /// is flagged [`SymmetrizedGraph::degraded`]. Default `None` (exact).
+    pub nnz_budget: Option<usize>,
 }
 
 impl Default for DegreeDiscountedOptions {
@@ -89,6 +94,7 @@ impl Default for DegreeDiscountedOptions {
             threshold: 0.0,
             add_identity: false,
             parallel: false,
+            nnz_budget: None,
         }
     }
 }
@@ -218,7 +224,7 @@ impl SimilarityFactors {
     /// this is the same flavor of approximation the paper accepts by pruning
     /// during the similarity computation, §3.5/§3.6.)
     pub fn full(&self, threshold: f64, parallel: bool) -> Result<CsrMatrix> {
-        self.full_with(threshold, parallel, None)
+        self.full_with(threshold, parallel, None, None).map(|r| r.0)
     }
 
     /// [`full`](Self::full) that polls `token` inside the SpGEMM row loops.
@@ -228,32 +234,45 @@ impl SimilarityFactors {
         parallel: bool,
         token: &CancelToken,
     ) -> Result<CsrMatrix> {
-        self.full_with(threshold, parallel, Some(token))
+        self.full_with(threshold, parallel, Some(token), None)
+            .map(|r| r.0)
     }
 
+    /// Computes the full matrix like [`full`](Self::full) but caps each
+    /// product term at `nnz_budget` stored entries, degrading to an
+    /// adaptively thresholded multiply when the Gustavson upper bound
+    /// exceeds it. Returns the matrix and whether degradation occurred.
     fn full_with(
         &self,
         threshold: f64,
         parallel: bool,
         token: Option<&CancelToken>,
-    ) -> Result<CsrMatrix> {
+        nnz_budget: Option<usize>,
+    ) -> Result<(CsrMatrix, bool)> {
         let opts = SpgemmOptions {
             threshold: threshold / 2.0,
             drop_diagonal: true,
             n_threads: if parallel { 0 } else { 1 },
         };
-        let multiply = |a: &CsrMatrix, b: &CsrMatrix| match token {
-            Some(t) => spgemm_cancellable(a, b, &opts, t),
-            None if parallel => spgemm_parallel(a, b, &opts),
-            None => spgemm_thresholded(a, b, &opts),
+        let multiply = |a: &CsrMatrix, b: &CsrMatrix| -> Result<(CsrMatrix, bool)> {
+            if let Some(budget) = nnz_budget {
+                let r = spgemm_budgeted(a, b, &opts, budget, token)?;
+                return Ok((r.matrix, r.degraded));
+            }
+            let m = match token {
+                Some(t) => spgemm_cancellable(a, b, &opts, t)?,
+                None if parallel => spgemm_parallel(a, b, &opts)?,
+                None => spgemm_thresholded(a, b, &opts)?,
+            };
+            Ok((m, false))
         };
-        let bd = multiply(&self.x, &self.xt)?;
-        let cd = multiply(&self.y, &self.yt)?;
+        let (bd, bd_degraded) = multiply(&self.x, &self.xt)?;
+        let (cd, cd_degraded) = multiply(&self.y, &self.yt)?;
         let mut u = ops::add(&bd, &cd)?;
         if threshold > 0.0 {
             u = ops::prune(&u, threshold).0;
         }
-        Ok(u)
+        Ok((u, bd_degraded || cd_degraded))
     }
 }
 
@@ -279,17 +298,20 @@ impl DegreeDiscounted {
         }
         let start = Instant::now();
         let factors = SimilarityFactors::build(g, &self.options)?;
-        let u = factors.full_with(self.options.threshold, self.options.parallel, token)?;
+        let (u, degraded) = factors.full_with(
+            self.options.threshold,
+            self.options.parallel,
+            token,
+            self.options.nnz_budget,
+        )?;
         let mut un = UnGraph::from_symmetric_unchecked(u);
         if let Some(labels) = g.labels() {
             un = un.with_labels(labels.to_vec())?;
         }
-        Ok(SymmetrizedGraph::new(
-            un,
-            self.name(),
-            self.options.threshold,
-            start.elapsed(),
-        ))
+        Ok(
+            SymmetrizedGraph::new(un, self.name(), self.options.threshold, start.elapsed())
+                .with_degraded(degraded),
+        )
     }
 }
 
@@ -484,6 +506,32 @@ mod tests {
             .symmetrize_cancellable(&g, &token)
             .unwrap();
         assert_eq!(plain.adjacency(), cancellable.adjacency());
+    }
+
+    #[test]
+    fn tight_budget_degrades_and_generous_budget_is_exact() {
+        let g = star_graph(40);
+        let exact = DegreeDiscounted::default().symmetrize(&g).unwrap();
+        let generous = DegreeDiscounted {
+            options: DegreeDiscountedOptions {
+                nnz_budget: Some(1_000_000),
+                ..Default::default()
+            },
+        }
+        .symmetrize(&g)
+        .unwrap();
+        assert!(!generous.degraded());
+        assert_eq!(exact.adjacency(), generous.adjacency());
+        let tight = DegreeDiscounted {
+            options: DegreeDiscountedOptions {
+                nnz_budget: Some(20),
+                ..Default::default()
+            },
+        }
+        .symmetrize(&g)
+        .unwrap();
+        assert!(tight.degraded());
+        assert!(tight.adjacency().is_symmetric(1e-9));
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub struct SymmetrizedGraph {
     method: String,
     threshold: f64,
     elapsed: Duration,
+    degraded: bool,
 }
 
 impl SymmetrizedGraph {
@@ -23,7 +24,21 @@ impl SymmetrizedGraph {
             method,
             threshold,
             elapsed,
+            degraded: false,
         }
+    }
+
+    /// Marks whether the symmetrization ran in degraded mode (a memory
+    /// budget forced a thresholded/truncated SpGEMM instead of the exact
+    /// product).
+    pub fn with_degraded(mut self, degraded: bool) -> Self {
+        self.degraded = degraded;
+        self
+    }
+
+    /// True when a memory budget forced a degraded (thresholded) product.
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The undirected similarity graph.
@@ -84,6 +99,9 @@ mod tests {
         assert_eq!(s.method(), "Test");
         assert_eq!(s.threshold(), 0.5);
         assert_eq!(s.elapsed(), Duration::from_millis(10));
+        assert!(!s.degraded());
+        let s = s.with_degraded(true);
+        assert!(s.degraded());
         assert_eq!(s.n_nodes(), 3);
         assert_eq!(s.n_edges(), 1);
         assert_eq!(s.n_singletons(), 1);

@@ -43,6 +43,33 @@ pub struct ArtifactCache<T> {
     misses: AtomicUsize,
 }
 
+/// Clears an owned in-flight marker if the computing thread unwinds.
+///
+/// Without this, a panicking compute closure would leave its `InFlight`
+/// slot in place forever and every later requester of the key would park
+/// on the condvar with nothing left to wake it — a panic would escalate
+/// into a deadlock of unrelated workers.
+struct InFlightGuard<'a, T> {
+    cache: &'a ArtifactCache<T>,
+    key: u64,
+    armed: bool,
+}
+
+impl<T> Drop for InFlightGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            // Runs during unwinding: never double-panic on a poisoned lock.
+            let mut slots = self
+                .cache
+                .slots
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            slots.remove(&self.key);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
 impl<T> Default for ArtifactCache<T> {
     fn default() -> Self {
         Self::new()
@@ -95,10 +122,17 @@ impl<T> ArtifactCache<T> {
                 }
             }
         }
-        // We own the in-flight marker: compute outside the lock.
+        // We own the in-flight marker: compute outside the lock, with a
+        // guard that clears the marker should `compute` panic.
+        let mut guard = InFlightGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
         let outcome = compute();
         let mut slots = self.slots.lock().expect("cache lock");
+        guard.armed = false; // both paths below settle the slot themselves
         match outcome {
             Ok(v) => {
                 let v = Arc::new(v);
@@ -183,6 +217,40 @@ mod tests {
         assert_eq!(err, "boom");
         let (v, hit) = cache.get_or_compute(9, || Ok::<_, &str>(3)).unwrap();
         assert_eq!((*v, hit), (3, false));
+    }
+
+    #[test]
+    fn panicking_compute_clears_slot_for_later_requests() {
+        let cache: Arc<ArtifactCache<u32>> = Arc::new(ArtifactCache::new());
+        let c = Arc::clone(&cache);
+        let outcome = std::thread::spawn(move || {
+            c.get_or_compute(7, || -> Result<u32, ()> { panic!("kernel bug") })
+        })
+        .join();
+        assert!(outcome.is_err(), "panic should propagate to the computer");
+        // The slot must be clear: a later request recomputes instead of
+        // parking forever behind a dead in-flight marker.
+        let (v, hit) = cache.get_or_compute(7, || Ok::<_, ()>(11)).unwrap();
+        assert_eq!((*v, hit), (11, false));
+    }
+
+    #[test]
+    fn waiter_is_released_when_computer_panics() {
+        let cache: Arc<ArtifactCache<u32>> = Arc::new(ArtifactCache::new());
+        let c1 = Arc::clone(&cache);
+        let computer = std::thread::spawn(move || {
+            let _ = c1.get_or_compute(3, || -> Result<u32, ()> {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                panic!("boom mid-flight")
+            });
+        });
+        // Give the computer time to claim the slot, then pile on a waiter.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let c2 = Arc::clone(&cache);
+        let waiter = std::thread::spawn(move || c2.get_or_compute(3, || Ok::<_, ()>(5)).unwrap());
+        let (v, _) = waiter.join().expect("waiter must not deadlock or die");
+        assert_eq!(*v, 5);
+        assert!(computer.join().is_err());
     }
 
     #[test]

@@ -113,6 +113,40 @@ pub enum Event {
         label: String,
         /// Error description.
         error: String,
+        /// True when the failure was a caught panic (isolated by the
+        /// engine; sibling stages keep running).
+        panic: bool,
+    },
+    /// A transiently-failed stage is about to be re-attempted after a
+    /// backoff delay.
+    StageRetrying {
+        /// DAG node id.
+        node: usize,
+        /// Stage type.
+        stage: StageKind,
+        /// Human-readable stage label.
+        label: String,
+        /// The attempt that just failed (1-based).
+        attempt: usize,
+        /// Total attempts the retry policy allows.
+        max_attempts: usize,
+        /// Backoff delay before the next attempt, in milliseconds.
+        delay_ms: u64,
+        /// The transient error that triggered the retry.
+        error: String,
+    },
+    /// The stage was skipped because a run journal proves an identical
+    /// chain (same input fingerprint + parameters) already completed in an
+    /// earlier run; its record is reused without re-execution.
+    StageResumed {
+        /// DAG node id.
+        node: usize,
+        /// Stage type.
+        stage: StageKind,
+        /// Human-readable stage label.
+        label: String,
+        /// Content-addressed chain key found in the journal.
+        key: u64,
     },
 }
 
@@ -126,6 +160,8 @@ impl Event {
             Event::Progress { .. } => "progress",
             Event::Cancelled { .. } => "cancelled",
             Event::StageFailed { .. } => "stage_failed",
+            Event::StageRetrying { .. } => "stage_retrying",
+            Event::StageResumed { .. } => "stage_resumed",
         }
     }
 
@@ -178,11 +214,41 @@ impl Event {
                 stage,
                 label,
                 error,
+                panic,
             } => {
                 obj.number("node", *node as f64);
                 obj.string("stage", stage.name());
                 obj.string("label", label);
                 obj.string("error", error);
+                obj.boolean("panic", *panic);
+            }
+            Event::StageRetrying {
+                node,
+                stage,
+                label,
+                attempt,
+                max_attempts,
+                delay_ms,
+                error,
+            } => {
+                obj.number("node", *node as f64);
+                obj.string("stage", stage.name());
+                obj.string("label", label);
+                obj.number("attempt", *attempt as f64);
+                obj.number("max_attempts", *max_attempts as f64);
+                obj.number("delay_ms", *delay_ms as f64);
+                obj.string("error", error);
+            }
+            Event::StageResumed {
+                node,
+                stage,
+                label,
+                key,
+            } => {
+                obj.number("node", *node as f64);
+                obj.string("stage", stage.name());
+                obj.string("label", label);
+                obj.string("key", &format!("{key:016x}"));
             }
         }
         obj.finish()
@@ -214,8 +280,25 @@ impl Event {
                 stage,
                 label,
                 error,
+                panic,
                 ..
-            } => format!("[{stage:>10}] {label} FAILED: {error}"),
+            } => {
+                let kind = if *panic { "PANICKED" } else { "FAILED" };
+                format!("[{stage:>10}] {label} {kind}: {error}")
+            }
+            Event::StageRetrying {
+                stage,
+                label,
+                attempt,
+                max_attempts,
+                delay_ms,
+                ..
+            } => {
+                format!("[{stage:>10}] {label} retrying ({attempt}/{max_attempts}) in {delay_ms}ms")
+            }
+            Event::StageResumed { stage, label, .. } => {
+                format!("[{stage:>10}] {label} (resumed from journal)")
+            }
         }
     }
 }
@@ -264,5 +347,51 @@ mod tests {
         };
         assert!(!e.render().contains('\n'));
         assert!(e.render().contains("2/9"));
+    }
+
+    #[test]
+    fn failed_event_carries_panic_flag() {
+        let e = Event::StageFailed {
+            node: 1,
+            stage: StageKind::Symmetrize,
+            label: "Bibliometric".into(),
+            error: "boom".into(),
+            panic: true,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"event\":\"stage_failed\""), "{j}");
+        assert!(j.contains("\"panic\":true"), "{j}");
+        assert!(e.render().contains("PANICKED"));
+    }
+
+    #[test]
+    fn retrying_event_serializes_backoff_fields() {
+        let e = Event::StageRetrying {
+            node: 2,
+            stage: StageKind::Cluster,
+            label: "MLR-MCL(i=2)".into(),
+            attempt: 1,
+            max_attempts: 3,
+            delay_ms: 50,
+            error: "transient: injected".into(),
+        };
+        let j = e.to_json();
+        assert_eq!(e.tag(), "stage_retrying");
+        assert!(j.contains("\"attempt\":1"), "{j}");
+        assert!(j.contains("\"delay_ms\":50"), "{j}");
+        assert!(e.render().contains("retrying (1/3)"));
+    }
+
+    #[test]
+    fn resumed_event_carries_chain_key() {
+        let e = Event::StageResumed {
+            node: 4,
+            stage: StageKind::Evaluate,
+            label: "A+A' + Metis(k=3)".into(),
+            key: 0xabcd,
+        };
+        assert_eq!(e.tag(), "stage_resumed");
+        assert!(e.to_json().contains("\"key\":\"000000000000abcd\""));
+        assert!(e.render().contains("resumed"));
     }
 }

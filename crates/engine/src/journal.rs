@@ -1,0 +1,218 @@
+//! Durable JSONL run journal for crash-safe resume.
+//!
+//! Every completed `Evaluate` chain appends one line to the journal:
+//! the chain's content-addressed key (graph fingerprint composed with
+//! every stage's parameters, see [`crate::exec`]) plus the finished
+//! [`RunRecord`]. A later run pointed at the same journal pre-settles
+//! every chain whose key it finds — after a crash or cancellation
+//! mid-sweep, `--resume` re-executes zero completed work.
+//!
+//! The format is append-only, one flat JSON object per line, flushed and
+//! fsynced per record. A truncated trailing line (the crash case) or any
+//! hand-corrupted line is skipped on open rather than failing the run:
+//! losing one record costs one recomputation, never the sweep.
+
+use crate::json::{parse_object, JsonObject, JsonValue};
+use crate::report::RunRecord;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// A run journal: the set of completed chains read at open time, plus an
+/// append handle for chains this run completes.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    completed: HashMap<u64, RunRecord>,
+}
+
+impl RunJournal {
+    /// Opens (or starts) a journal at `path`. A missing file is an empty
+    /// journal; unparsable lines are skipped.
+    pub fn open<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut completed = HashMap::new();
+        match std::fs::File::open(&path) {
+            Ok(f) => {
+                for line in BufReader::new(f).lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if let Some((key, record)) = parse_entry(&line) {
+                        completed.insert(key, record);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(RunJournal { path, completed })
+    }
+
+    /// Whether a chain with this key already completed in an earlier run.
+    pub fn contains(&self, key: u64) -> bool {
+        self.completed.contains_key(&key)
+    }
+
+    /// The completed record for a chain key, if present.
+    pub fn get(&self, key: u64) -> Option<&RunRecord> {
+        self.completed.get(&key)
+    }
+
+    /// Number of completed chains known to the journal.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether no chain has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Appends one completed chain, durably (flush + fsync before
+    /// returning). Idempotent per key: re-appending an existing key is a
+    /// no-op.
+    pub fn append(&mut self, key: u64, record: &RunRecord) -> std::io::Result<()> {
+        if self.completed.contains_key(&key) {
+            return Ok(());
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut line = entry_to_json(key, record);
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.flush()?;
+        file.sync_data()?;
+        self.completed.insert(key, record.clone());
+        Ok(())
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn entry_to_json(key: u64, r: &RunRecord) -> String {
+    let mut obj = JsonObject::new();
+    obj.string("chain_key", &format!("{key:016x}"));
+    // Reuse the record's own (flat) serialization by splicing its fields.
+    let record_json = r.to_json();
+    let inner = record_json
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or("");
+    let head = obj.finish();
+    let head = head.strip_suffix('}').unwrap_or(&head);
+    format!("{head},{inner}}}")
+}
+
+fn parse_entry(line: &str) -> Option<(u64, RunRecord)> {
+    let map = parse_object(line).ok()?;
+    let key = u64::from_str_radix(map.get("chain_key")?.as_str()?, 16).ok()?;
+    let record = RunRecord {
+        dataset: map.get("dataset")?.as_str()?.to_string(),
+        symmetrization: map.get("symmetrization")?.as_str()?.to_string(),
+        algorithm: map.get("algorithm")?.as_str()?.to_string(),
+        n_clusters: map.get("n_clusters")?.as_f64()? as usize,
+        f_score: match map.get("f_score")? {
+            JsonValue::Num(x) => Some(*x),
+            JsonValue::Null => None,
+            _ => return None,
+        },
+        cluster_secs: map.get("cluster_secs")?.as_f64()?,
+        symmetrize_secs: map.get("symmetrize_secs")?.as_f64()?,
+        sym_edges: map.get("sym_edges")?.as_f64()? as usize,
+        degraded: map.get("degraded")?.as_bool()?,
+        converged: map.get("converged")?.as_bool()?,
+    };
+    Some((key, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(dataset: &str) -> RunRecord {
+        RunRecord {
+            dataset: dataset.into(),
+            symmetrization: "A+A'".into(),
+            algorithm: "Metis".into(),
+            n_clusters: 4,
+            f_score: Some(61.5),
+            cluster_secs: 0.12,
+            symmetrize_secs: 0.03,
+            sym_edges: 220,
+            degraded: false,
+            converged: true,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("symclust_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    #[test]
+    fn roundtrips_appended_records() {
+        let path = temp_path("roundtrip.jsonl");
+        let mut j = RunJournal::open(&path).unwrap();
+        assert!(j.is_empty());
+        j.append(0xabc, &record("d1")).unwrap();
+        j.append(0xdef, &record("d2")).unwrap();
+        assert_eq!(j.len(), 2);
+
+        let j2 = RunJournal::open(&path).unwrap();
+        assert_eq!(j2.len(), 2);
+        assert!(j2.contains(0xabc));
+        let r = j2.get(0xdef).unwrap();
+        assert_eq!(r.dataset, "d2");
+        assert_eq!(r.f_score, Some(61.5));
+        assert!(r.converged);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_is_idempotent_per_key() {
+        let path = temp_path("idempotent.jsonl");
+        let mut j = RunJournal::open(&path).unwrap();
+        j.append(7, &record("d")).unwrap();
+        j.append(7, &record("d")).unwrap();
+        assert_eq!(j.len(), 1);
+        let lines = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(lines.lines().count(), 1, "duplicate key rewrote the file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_and_truncated_lines_are_skipped() {
+        let path = temp_path("corrupt.jsonl");
+        let mut j = RunJournal::open(&path).unwrap();
+        j.append(1, &record("good")).unwrap();
+        // Simulate a crash mid-append plus outright garbage.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not json at all\n");
+        text.push_str("{\"chain_key\":\"0000000000000002\",\"dataset\":\"trunc");
+        std::fs::write(&path, text).unwrap();
+
+        let j2 = RunJournal::open(&path).unwrap();
+        assert_eq!(j2.len(), 1, "only the intact line survives");
+        assert!(j2.contains(1));
+        assert!(!j2.contains(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let path = temp_path("never_created.jsonl");
+        std::fs::remove_file(&path).ok();
+        let j = RunJournal::open(&path).unwrap();
+        assert!(j.is_empty());
+    }
+}

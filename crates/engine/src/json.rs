@@ -1,9 +1,11 @@
-//! Minimal JSON writer for event streams and result records.
+//! Minimal JSON writer and flat-object parser for event streams, result
+//! records, and the run journal.
 //!
-//! The workspace has no serde (offline build), and the only JSON it emits
-//! is flat objects of strings/numbers/bools — so a small escaping writer
-//! is all that's needed. Output is one object per [`JsonObject::finish`],
-//! suitable for JSONL streams.
+//! The workspace has no serde (offline build), and the only JSON it
+//! handles is flat objects of strings/numbers/bools/null — so a small
+//! escaping writer plus a matching single-level parser is all that's
+//! needed. Output is one object per [`JsonObject::finish`], suitable for
+//! JSONL streams; [`parse_object`] reads one such line back.
 
 /// Escapes a string per RFC 8259 (quotes, backslash, control characters).
 pub fn escape(s: &str) -> String {
@@ -94,6 +96,175 @@ impl JsonObject {
     }
 }
 
+/// A parsed flat JSON value (no arrays/nesting — the journal and event
+/// schemas are deliberately flat).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string (unescaped).
+    Str(String),
+    /// A number.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (as produced by [`JsonObject`]) into a
+/// key → value map. Rejects nesting, arrays, and trailing garbage — this
+/// is a schema-matched reader for our own output, not a general parser.
+pub fn parse_object(line: &str) -> Result<std::collections::HashMap<String, JsonValue>, String> {
+    let mut out = std::collections::HashMap::new();
+    let s: Vec<char> = line.trim().chars().collect();
+    let mut i = 0usize;
+    let n = s.len();
+    let skip_ws = |i: &mut usize| {
+        while *i < n && s[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+
+    fn parse_string(s: &[char], i: &mut usize) -> Result<String, String> {
+        if s.get(*i) != Some(&'"') {
+            return Err(format!("expected '\"' at {}", *i));
+        }
+        *i += 1;
+        let mut out = String::new();
+        while let Some(&c) = s.get(*i) {
+            *i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = s.get(*i).copied().ok_or("truncated escape")?;
+                    *i += 1;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex: String =
+                                s.get(*i..*i + 4).ok_or("truncated \\u")?.iter().collect();
+                            *i += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|e| format!("bad \\u escape {hex}: {e}"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{other}'")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    skip_ws(&mut i);
+    if s.get(i) != Some(&'{') {
+        return Err("expected '{'".into());
+    }
+    i += 1;
+    skip_ws(&mut i);
+    if s.get(i) == Some(&'}') {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(&mut i);
+            let key = parse_string(&s, &mut i)?;
+            skip_ws(&mut i);
+            if s.get(i) != Some(&':') {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            i += 1;
+            skip_ws(&mut i);
+            let value = match s.get(i) {
+                Some(&'"') => JsonValue::Str(parse_string(&s, &mut i)?),
+                Some(&'t')
+                    if s.get(i..i + 4).map(|c| c.iter().collect::<String>())
+                        == Some("true".into()) =>
+                {
+                    i += 4;
+                    JsonValue::Bool(true)
+                }
+                Some(&'f')
+                    if s.get(i..i + 5).map(|c| c.iter().collect::<String>())
+                        == Some("false".into()) =>
+                {
+                    i += 5;
+                    JsonValue::Bool(false)
+                }
+                Some(&'n')
+                    if s.get(i..i + 4).map(|c| c.iter().collect::<String>())
+                        == Some("null".into()) =>
+                {
+                    i += 4;
+                    JsonValue::Null
+                }
+                Some(_) => {
+                    let start = i;
+                    while i < n && !matches!(s[i], ',' | '}') && !s[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    let text: String = s[start..i].iter().collect();
+                    let num: f64 = text
+                        .parse()
+                        .map_err(|e| format!("bad value {text:?} for key {key:?}: {e}"))?;
+                    JsonValue::Num(num)
+                }
+                None => return Err("truncated object".into()),
+            };
+            out.insert(key, value);
+            skip_ws(&mut i);
+            match s.get(i) {
+                Some(&',') => {
+                    i += 1;
+                    continue;
+                }
+                Some(&'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at {i}")),
+            }
+        }
+    }
+    skip_ws(&mut i);
+    if i != n {
+        return Err(format!("trailing garbage at {i}"));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +299,46 @@ mod tests {
     #[test]
     fn empty_object_is_braces() {
         assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let mut obj = JsonObject::new();
+        obj.string("name", "A+A' \"quoted\"\n");
+        obj.number("edges", 42.0);
+        obj.number("f", 0.25);
+        obj.boolean("hit", true);
+        obj.null("missing");
+        let line = obj.finish();
+        let map = parse_object(&line).unwrap();
+        assert_eq!(map["name"].as_str(), Some("A+A' \"quoted\"\n"));
+        assert_eq!(map["edges"].as_f64(), Some(42.0));
+        assert_eq!(map["f"].as_f64(), Some(0.25));
+        assert_eq!(map["hit"].as_bool(), Some(true));
+        assert_eq!(map["missing"], JsonValue::Null);
+    }
+
+    #[test]
+    fn parse_handles_empty_and_negative_numbers() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        let map = parse_object(r#"{"x":-1.5e3,"y":false}"#).unwrap();
+        assert_eq!(map["x"].as_f64(), Some(-1500.0));
+        assert_eq!(map["y"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{").is_err());
+        assert!(parse_object(r#"{"a":}"#).is_err());
+        assert!(parse_object(r#"{"a":1} extra"#).is_err());
+        assert!(parse_object(r#"{"a":"unterminated}"#).is_err());
+        assert!(parse_object(r#"{"a":zzz}"#).is_err());
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        let map = parse_object("{\"s\":\"\\u0041\\u00e9\"}").unwrap();
+        assert_eq!(map["s"].as_str(), Some("A\u{e9}"));
     }
 }

@@ -43,7 +43,10 @@
 pub mod cache;
 pub mod event;
 pub mod exec;
+#[cfg(feature = "fault-injection")]
+pub mod faultpoint;
 pub mod fingerprint;
+pub mod journal;
 pub mod json;
 pub mod plan;
 pub mod report;
@@ -51,7 +54,8 @@ pub mod spec;
 
 pub use cache::{ArtifactCache, CacheStats};
 pub use event::{Event, StageKind};
-pub use exec::{Engine, EngineOptions, PipelineInput, SweepResult};
+pub use exec::{Engine, EngineOptions, PipelineInput, RetryPolicy, SweepResult};
+pub use journal::RunJournal;
 pub use plan::{PipelineSpec, Plan, StageNode};
 pub use report::{measure, print_records, save_records, RunRecord};
 pub use spec::{select_thresholds, Clusterer, SymMethod};

@@ -28,9 +28,27 @@ pub struct RunRecord {
     pub symmetrize_secs: f64,
     /// Undirected edges in the symmetrized graph.
     pub sym_edges: usize,
+    /// Whether the symmetrization ran in degraded (budget-limited) mode:
+    /// the SpGEMM output estimate exceeded the memory budget and the
+    /// product was adaptively thresholded instead (see §10 of DESIGN.md).
+    pub degraded: bool,
+    /// Whether the clusterer reported convergence. `false` means the flow
+    /// iteration exhausted its budget and the clustering is best-effort.
+    pub converged: bool,
 }
 
 impl RunRecord {
+    /// Short health annotation for table rendering: `degraded` and/or
+    /// `no-conv`, or `-` when the run was exact and converged.
+    pub fn notes(&self) -> String {
+        match (self.degraded, self.converged) {
+            (false, true) => "-".to_string(),
+            (true, true) => "degraded".to_string(),
+            (false, false) => "no-conv".to_string(),
+            (true, false) => "degraded,no-conv".to_string(),
+        }
+    }
+
     /// One JSON object on a single line (JSONL-ready).
     pub fn to_json(&self) -> String {
         let mut obj = JsonObject::new();
@@ -45,6 +63,8 @@ impl RunRecord {
         obj.number("cluster_secs", self.cluster_secs);
         obj.number("symmetrize_secs", self.symmetrize_secs);
         obj.number("sym_edges", self.sym_edges as f64);
+        obj.boolean("degraded", self.degraded);
+        obj.boolean("converged", self.converged);
         obj.finish()
     }
 }
@@ -73,6 +93,8 @@ pub fn measure(
         cluster_secs,
         symmetrize_secs: sym.elapsed().as_secs_f64(),
         sym_edges: sym.n_edges(),
+        degraded: sym.degraded(),
+        converged: clustering.converged(),
     }
 }
 
@@ -80,12 +102,12 @@ pub fn measure(
 pub fn print_records(title: &str, records: &[RunRecord]) {
     println!("\n== {title} ==");
     println!(
-        "{:<18} {:<18} {:<9} {:>6} {:>8} {:>10} {:>10}",
-        "dataset", "symmetrization", "algo", "k", "F", "time(s)", "edges"
+        "{:<18} {:<18} {:<9} {:>6} {:>8} {:>10} {:>10} {:<16}",
+        "dataset", "symmetrization", "algo", "k", "F", "time(s)", "edges", "notes"
     );
     for r in records {
         println!(
-            "{:<18} {:<18} {:<9} {:>6} {:>8} {:>10.3} {:>10}",
+            "{:<18} {:<18} {:<9} {:>6} {:>8} {:>10.3} {:>10} {:<16}",
             r.dataset,
             r.symmetrization,
             r.algorithm,
@@ -93,6 +115,7 @@ pub fn print_records(title: &str, records: &[RunRecord]) {
             r.f_score.map_or("-".to_string(), |f| format!("{f:.2}")),
             r.cluster_secs,
             r.sym_edges,
+            r.notes(),
         );
     }
 }
@@ -129,11 +152,22 @@ mod tests {
             cluster_secs: 0.5,
             symmetrize_secs: 0.25,
             sym_edges: 100,
+            degraded: true,
+            converged: false,
         };
         let j = r.to_json();
         assert!(j.contains("\"f_score\":null"), "{j}");
+        assert!(j.contains("\"degraded\":true"), "{j}");
+        assert!(j.contains("\"converged\":false"), "{j}");
         assert!(j.contains("\"symmetrization\":\"A+A'\""), "{j}");
         assert!(j.contains("\"n_clusters\":7"), "{j}");
         assert!(!j.contains('\n'));
+        assert_eq!(r.notes(), "degraded,no-conv");
+        let healthy = RunRecord {
+            degraded: false,
+            converged: true,
+            ..r.clone()
+        };
+        assert_eq!(healthy.notes(), "-");
     }
 }

@@ -69,12 +69,25 @@ impl SymMethod {
 
     /// Builds the configured symmetrizer.
     pub fn build(&self) -> Box<dyn Symmetrizer + Send + Sync> {
+        self.build_with_budget(None)
+    }
+
+    /// Builds the configured symmetrizer under an optional SpGEMM output
+    /// budget (in stored entries). The budget only affects the similarity
+    /// methods ([`uses_budget`](Self::uses_budget)); when their estimated
+    /// product size exceeds it they degrade to an adaptively-thresholded
+    /// product instead of aborting.
+    pub fn build_with_budget(
+        &self,
+        nnz_budget: Option<usize>,
+    ) -> Box<dyn Symmetrizer + Send + Sync> {
         match *self {
             SymMethod::PlusTranspose => Box::new(PlusTranspose),
             SymMethod::RandomWalk => Box::new(RandomWalk::default()),
             SymMethod::Bibliometric { threshold } => Box::new(Bibliometric {
                 options: BibliometricOptions {
                     threshold,
+                    nnz_budget,
                     ..Default::default()
                 },
             }),
@@ -87,10 +100,20 @@ impl SymMethod {
                     alpha: DiscountExponent::Power(alpha),
                     beta: DiscountExponent::Power(beta),
                     threshold,
+                    nnz_budget,
                     ..Default::default()
                 },
             }),
         }
+    }
+
+    /// Whether an SpGEMM memory budget changes this method's output (only
+    /// the similarity methods run a matrix product).
+    pub fn uses_budget(&self) -> bool {
+        matches!(
+            self,
+            SymMethod::Bibliometric { .. } | SymMethod::DegreeDiscounted { .. }
+        )
     }
 
     /// Runs the symmetrization (panics on error — valid for the in-memory
@@ -111,6 +134,18 @@ impl SymMethod {
         self.build().symmetrize_cancellable(g, token)
     }
 
+    /// [`symmetrize_cancellable`](Self::symmetrize_cancellable) under an
+    /// optional SpGEMM output budget.
+    pub fn symmetrize_cancellable_with_budget(
+        &self,
+        g: &DiGraph,
+        token: &CancelToken,
+        nnz_budget: Option<usize>,
+    ) -> symclust_core::Result<SymmetrizedGraph> {
+        self.build_with_budget(nnz_budget)
+            .symmetrize_cancellable(g, token)
+    }
+
     /// Stable (stage name, parameter vector) encoding for content-addressed
     /// cache keys. Everything that affects the output must appear here.
     pub fn cache_params(&self) -> (&'static str, Vec<f64>) {
@@ -124,6 +159,21 @@ impl SymMethod {
                 threshold,
             } => ("symmetrize/dd", vec![alpha, beta, threshold]),
         }
+    }
+
+    /// [`cache_params`](Self::cache_params) including an effective SpGEMM
+    /// budget when one applies. A budgeted product can differ from the
+    /// exact one (it may degrade), so the budget must be part of the
+    /// artifact address — otherwise a degraded artifact computed under a
+    /// tight budget would be served to a consumer expecting the exact one.
+    pub fn cache_params_with_budget(&self, nnz_budget: Option<usize>) -> (&'static str, Vec<f64>) {
+        let (name, mut params) = self.cache_params();
+        if let Some(b) = nnz_budget {
+            if self.uses_budget() {
+                params.push(b as f64);
+            }
+        }
+        (name, params)
     }
 }
 
@@ -219,6 +269,17 @@ impl Clusterer {
     ) -> symclust_cluster::Result<Clustering> {
         self.build().cluster_ungraph_cancellable(g, token)
     }
+
+    /// Stable (stage name, parameter vector) encoding, mirroring
+    /// [`SymMethod::cache_params`]. Used to compose the per-chain journal
+    /// keys for crash-safe resume.
+    pub fn cache_params(&self) -> (&'static str, Vec<f64>) {
+        match *self {
+            Clusterer::MlrMcl { inflation } => ("cluster/mlrmcl", vec![inflation]),
+            Clusterer::Metis { k } => ("cluster/metis", vec![k as f64]),
+            Clusterer::Graclus { k } => ("cluster/graclus", vec![k as f64]),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +323,33 @@ mod tests {
         .cache_params();
         assert_ne!(a.0, dd.0);
         assert_eq!(dd.1, vec![0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn budget_extends_cache_params_only_for_similarity_methods() {
+        let bib = SymMethod::Bibliometric { threshold: 1.0 };
+        let plain = bib.cache_params_with_budget(None);
+        let tight = bib.cache_params_with_budget(Some(1000));
+        assert_eq!(plain, bib.cache_params());
+        assert_ne!(plain.1, tight.1, "budget must change the artifact address");
+        // A+A' ignores the budget entirely: no SpGEMM, same key either way.
+        let aat = SymMethod::PlusTranspose;
+        assert!(!aat.uses_budget());
+        assert_eq!(aat.cache_params_with_budget(Some(1000)), aat.cache_params());
+    }
+
+    #[test]
+    fn clusterer_cache_params_distinguish_algorithms_and_k() {
+        let a = Clusterer::Metis { k: 3 }.cache_params();
+        let b = Clusterer::Metis { k: 4 }.cache_params();
+        let c = Clusterer::Graclus { k: 3 }.cache_params();
+        assert_eq!(a.0, b.0);
+        assert_ne!(a.1, b.1);
+        assert_ne!(a.0, c.0);
+        assert_eq!(
+            Clusterer::MlrMcl { inflation: 2.0 }.cache_params(),
+            ("cluster/mlrmcl", vec![2.0])
+        );
     }
 
     #[test]

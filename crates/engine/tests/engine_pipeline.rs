@@ -42,7 +42,7 @@ fn four_by_two_sweep_computes_each_symmetrization_once_and_matches_serial() {
     let spec = four_by_two_spec();
     let engine = Engine::new(EngineOptions {
         threads: 4,
-        stage_deadline: None,
+        ..Default::default()
     });
     let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
     let result = engine.run(&input, &spec, &|e| events.lock().unwrap().push(e));
@@ -134,7 +134,7 @@ fn second_sweep_on_same_engine_is_all_cache_hits() {
     };
     let engine = Engine::new(EngineOptions {
         threads: 2,
-        stage_deadline: None,
+        ..Default::default()
     });
     let first = engine.run(&input, &spec, &|_| {});
     assert_eq!(first.cache.misses, 4);
@@ -160,7 +160,7 @@ fn cancellation_surfaces_partial_results() {
     // as the first record lands.
     let engine = Engine::new(EngineOptions {
         threads: 1,
-        stage_deadline: None,
+        ..Default::default()
     });
     let token = CancelToken::new();
     let sink_token = token.clone();
@@ -223,6 +223,7 @@ fn zero_stage_deadline_skips_all_stages() {
     let engine = Engine::new(EngineOptions {
         threads: 2,
         stage_deadline: Some(std::time::Duration::ZERO),
+        ..Default::default()
     });
     let result = engine.run(&input, &spec, &|_| {});
     assert!(!result.cancelled, "run token never tripped");
@@ -253,5 +254,180 @@ fn extra_prune_stage_reduces_edges() {
     assert!(
         after < before,
         "prune at 2.0 should drop weight-1 pairs ({after} !< {before})"
+    );
+}
+
+fn temp_journal(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("symclust_engine_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+/// Crash-safe resume, full-sweep case: a second run against the journal of
+/// a completed sweep re-executes zero stages — every chain is pre-settled
+/// from the journal, no symmetrization or clustering starts, and the
+/// records match the first run's exactly.
+#[test]
+fn journal_resume_skips_every_completed_chain() {
+    let input = small_input();
+    let spec = four_by_two_spec();
+    let path = temp_journal("full_resume.jsonl");
+    let opts = EngineOptions {
+        threads: 2,
+        journal: Some(path.clone()),
+        ..Default::default()
+    };
+    let first = Engine::new(opts.clone()).run(&input, &spec, &|_| {});
+    assert!(first.failures.is_empty(), "{:?}", first.failures);
+    assert_eq!(first.records.len(), 8);
+    assert_eq!(first.resumed, 0);
+
+    // Fresh engine = empty artifact cache, so any re-execution would show
+    // up as a cache miss. Same journal = everything resumes.
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let second = Engine::new(opts).run(&input, &spec, &|e| events.lock().unwrap().push(e));
+    assert_eq!(second.resumed, 8);
+    assert_eq!(second.records.len(), 8);
+    assert_eq!(second.cache.misses, 0, "resume must not recompute anything");
+    assert_eq!(second.cache.hits, 0);
+
+    let events = events.into_inner().unwrap();
+    assert!(
+        !events.iter().any(|e| matches!(
+            e,
+            Event::StageStarted { stage, .. } if *stage != StageKind::Load
+        )),
+        "no stage beyond Load may start on a fully-journaled sweep"
+    );
+    let resumed_events = events
+        .iter()
+        .filter(|e| matches!(e, Event::StageResumed { .. }))
+        .count();
+    assert_eq!(resumed_events, 8 * 3, "sym+cluster+eval per chain");
+
+    for (a, b) in first.records.iter().zip(&second.records) {
+        assert_eq!(a.symmetrization, b.symmetrization);
+        assert_eq!(a.algorithm, b.algorithm);
+        assert_eq!(a.f_score, b.f_score);
+        assert_eq!(a.n_clusters, b.n_clusters);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Crash-safe resume, kill-mid-sweep case: cancel a journaled sweep after
+/// a couple of records land, then re-run with the same journal — the
+/// completed chains resume, only the rest execute, and the sweep finishes.
+#[test]
+fn killed_sweep_resumes_completed_chains_and_finishes_the_rest() {
+    let input = small_input();
+    let spec = four_by_two_spec();
+    let path = temp_journal("partial_resume.jsonl");
+    let opts = EngineOptions {
+        threads: 1,
+        journal: Some(path.clone()),
+        ..Default::default()
+    };
+    let token = CancelToken::new();
+    let sink_token = token.clone();
+    let evals_done = Mutex::new(0usize);
+    let first = Engine::new(opts.clone()).run_cancellable(&input, &spec, &token, &|e| {
+        if matches!(
+            e,
+            Event::StageFinished {
+                stage: StageKind::Evaluate,
+                ..
+            }
+        ) {
+            let mut n = evals_done.lock().unwrap();
+            *n += 1;
+            if *n >= 2 {
+                sink_token.cancel();
+            }
+        }
+    });
+    assert!(first.cancelled);
+    let done = first.records.len();
+    assert!(
+        (2..8).contains(&done),
+        "expected a partial sweep, got {done}"
+    );
+
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let second = Engine::new(opts).run(&input, &spec, &|e| events.lock().unwrap().push(e));
+    assert!(!second.cancelled);
+    assert_eq!(second.resumed, done, "every journaled chain must resume");
+    assert_eq!(second.records.len(), 8, "the rest of the sweep completes");
+    assert!(second.failures.is_empty(), "{:?}", second.failures);
+
+    let events = events.into_inner().unwrap();
+    let evals_executed = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                Event::StageFinished {
+                    stage: StageKind::Evaluate,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(evals_executed, 8 - done, "resumed chains re-executed work");
+    std::fs::remove_file(&path).ok();
+}
+
+/// An over-budget similarity symmetrization degrades (thresholded SpGEMM)
+/// instead of aborting, and the degradation is visible in the record; a
+/// generous budget stays exact.
+#[test]
+fn memory_budget_degrades_similarity_methods_instead_of_aborting() {
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: vec![
+            SymMethod::Bibliometric { threshold: 0.0 },
+            SymMethod::PlusTranspose,
+        ],
+        clusterers: vec![Clusterer::Metis { k: 10 }],
+        extra_prune: None,
+    };
+    let tight = Engine::new(EngineOptions {
+        threads: 2,
+        memory_budget: Some(100),
+        ..Default::default()
+    });
+    let result = tight.run(&input, &spec, &|_| {});
+    assert!(result.failures.is_empty(), "{:?}", result.failures);
+    assert_eq!(result.records.len(), 2);
+    let bib = result
+        .records
+        .iter()
+        .find(|r| r.symmetrization == "Bibliometric")
+        .unwrap();
+    assert!(bib.degraded, "tight budget must degrade the SpGEMM");
+    assert!(bib.sym_edges > 0, "degraded output is still a usable graph");
+    let aat = result
+        .records
+        .iter()
+        .find(|r| r.symmetrization == "A+A'")
+        .unwrap();
+    assert!(!aat.degraded, "A+A' runs no SpGEMM and is never degraded");
+
+    let generous = Engine::new(EngineOptions {
+        threads: 2,
+        memory_budget: Some(100_000_000),
+        ..Default::default()
+    });
+    let exact = generous.run(&input, &spec, &|_| {});
+    let bib_exact = exact
+        .records
+        .iter()
+        .find(|r| r.symmetrization == "Bibliometric")
+        .unwrap();
+    assert!(!bib_exact.degraded);
+    assert!(
+        bib_exact.sym_edges >= bib.sym_edges,
+        "degraded product must not be denser than the exact one"
     );
 }

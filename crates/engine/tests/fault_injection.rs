@@ -1,0 +1,270 @@
+//! End-to-end recovery tests driven by the deterministic fault-injection
+//! harness (`--features fault-injection`).
+//!
+//! Each test arms a named fault point, runs an ordinary sweep, and proves
+//! the corresponding recovery path: panic isolation, retry with backoff,
+//! and degraded-mode SpGEMM under simulated memory exhaustion.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use symclust_engine::faultpoint::{self, FaultAction};
+use symclust_engine::{
+    Clusterer, Engine, EngineOptions, Event, PipelineInput, PipelineSpec, RetryPolicy, StageKind,
+    SymMethod,
+};
+use symclust_graph::generators::{shared_link_dsbm, SharedLinkDsbmConfig};
+
+/// The fault registry is process-global; scenarios must not interleave.
+fn serialize() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn small_input() -> PipelineInput {
+    let g = shared_link_dsbm(&SharedLinkDsbmConfig {
+        n_nodes: 300,
+        n_clusters: 10,
+        seed: 5,
+        ..Default::default()
+    })
+    .unwrap();
+    PipelineInput::new("dsbm300", g.graph, Some(g.truth))
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_delay_ms: 5,
+        max_delay_ms: 40,
+    }
+}
+
+/// Acceptance: a panicking symmetrize kernel fails only its own chains —
+/// the other six records complete, the failure is reported as a caught
+/// panic, and the run is not cancelled.
+#[test]
+fn panicking_symmetrize_does_not_abort_sibling_chains() {
+    let _gate = serialize();
+    faultpoint::reset();
+    faultpoint::arm("symmetrize:Bibliometric", FaultAction::Panic);
+
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: SymMethod::lineup(0.0, 0.0),
+        clusterers: vec![
+            Clusterer::MlrMcl { inflation: 2.0 },
+            Clusterer::Metis { k: 10 },
+        ],
+        extra_prune: None,
+    };
+    let engine = Engine::new(EngineOptions {
+        threads: 4,
+        ..Default::default()
+    });
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let result = engine.run(&input, &spec, &|e| events.lock().unwrap().push(e));
+    faultpoint::reset();
+
+    assert!(!result.cancelled);
+    assert_eq!(
+        result.records.len(),
+        6,
+        "the six non-Bibliometric chains must complete"
+    );
+    assert!(result
+        .records
+        .iter()
+        .all(|r| r.symmetrization != "Bibliometric"));
+    assert_eq!(result.failures.len(), 2, "{:?}", result.failures);
+    let events = events.into_inner().unwrap();
+    let panic_failures: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::StageFailed {
+                stage: StageKind::Symmetrize,
+                label,
+                error,
+                panic,
+                ..
+            } => Some((label.clone(), error.clone(), *panic)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(panic_failures.len(), 2);
+    for (label, error, panic) in panic_failures {
+        assert_eq!(label, "Bibliometric");
+        assert!(panic, "failure must be flagged as a caught panic");
+        assert!(error.contains("injected panic"), "{error}");
+    }
+}
+
+/// Acceptance: a transiently-failing stage succeeds after retries, with
+/// one `stage_retrying` (backoff) event per failed attempt.
+#[test]
+fn transient_fault_recovers_after_backoff_retries() {
+    let _gate = serialize();
+    faultpoint::reset();
+    faultpoint::arm(
+        "cluster:A+A' + Metis(k=10)",
+        FaultAction::Transient { failures: 2 },
+    );
+
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: vec![SymMethod::PlusTranspose],
+        clusterers: vec![Clusterer::Metis { k: 10 }],
+        extra_prune: None,
+    };
+    let engine = Engine::new(EngineOptions {
+        threads: 2,
+        retry: fast_retry(),
+        ..Default::default()
+    });
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let result = engine.run(&input, &spec, &|e| events.lock().unwrap().push(e));
+    faultpoint::reset();
+
+    assert!(result.failures.is_empty(), "{:?}", result.failures);
+    assert_eq!(result.records.len(), 1, "third attempt must succeed");
+    let events = events.into_inner().unwrap();
+    let retries: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::StageRetrying {
+                attempt,
+                max_attempts,
+                delay_ms,
+                error,
+                ..
+            } => Some((*attempt, *max_attempts, *delay_ms, error.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(retries.len(), 2, "one retry event per failed attempt");
+    assert_eq!(retries[0].0, 1);
+    assert_eq!(retries[1].0, 2);
+    for (attempt, max_attempts, delay_ms, error) in &retries {
+        assert_eq!(*max_attempts, 3);
+        assert!(*delay_ms > 0, "backoff delay must be positive");
+        assert!(error.contains("transient"), "{error}");
+        let _ = attempt;
+    }
+    // Exponential growth of the capped backoff base across attempts: the
+    // attempt-2 delay is drawn from [base·2/2, base·2], attempt-1 from
+    // [base/2, base]; with deterministic jitter both are reproducible.
+    let policy = fast_retry();
+    assert_eq!(retries[0].2, policy.delay_ms(2, 1));
+    assert_eq!(retries[1].2, policy.delay_ms(2, 2));
+}
+
+/// A fault that keeps failing past the attempt budget fails the chain with
+/// the transient error (not a panic), and siblings are unaffected.
+#[test]
+fn exhausted_retry_budget_fails_only_that_chain() {
+    let _gate = serialize();
+    faultpoint::reset();
+    faultpoint::arm(
+        "cluster:A+A' + Metis(k=10)",
+        FaultAction::Transient { failures: 100 },
+    );
+
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: vec![SymMethod::PlusTranspose],
+        clusterers: vec![Clusterer::Metis { k: 10 }, Clusterer::Graclus { k: 10 }],
+        extra_prune: None,
+    };
+    let engine = Engine::new(EngineOptions {
+        threads: 2,
+        retry: fast_retry(),
+        ..Default::default()
+    });
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let result = engine.run(&input, &spec, &|e| events.lock().unwrap().push(e));
+    faultpoint::reset();
+
+    assert_eq!(result.records.len(), 1, "the Graclus chain still completes");
+    assert_eq!(result.records[0].algorithm, "Graclus");
+    assert_eq!(result.failures.len(), 1);
+    assert!(result.failures[0].1.contains("transient"));
+    let events = events.into_inner().unwrap();
+    let final_failure = events
+        .iter()
+        .find_map(|e| match e {
+            Event::StageFailed { panic, .. } => Some(*panic),
+            _ => None,
+        })
+        .expect("a stage_failed event");
+    assert!(!final_failure, "retry exhaustion is not a panic");
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| matches!(e, Event::StageRetrying { .. }))
+            .count(),
+        2,
+        "max_attempts 3 = 2 retries"
+    );
+}
+
+/// Acceptance: simulated memory exhaustion on the bibliometric SpGEMM
+/// completes the chain in degraded mode (`degraded: true` in the record)
+/// instead of failing, and does not poison the exact artifact for later
+/// unbudgeted runs on the same engine.
+#[test]
+fn simulated_oom_degrades_bibliometric_spgemm() {
+    let _gate = serialize();
+    faultpoint::reset();
+    faultpoint::arm("symmetrize:Bibliometric", FaultAction::Oom);
+
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: vec![
+            SymMethod::Bibliometric { threshold: 0.0 },
+            SymMethod::PlusTranspose,
+        ],
+        clusterers: vec![Clusterer::Metis { k: 10 }],
+        extra_prune: None,
+    };
+    let engine = Engine::new(EngineOptions {
+        threads: 2,
+        ..Default::default()
+    });
+    let degraded_run = engine.run(&input, &spec, &|_| {});
+    faultpoint::reset();
+
+    assert!(
+        degraded_run.failures.is_empty(),
+        "{:?}",
+        degraded_run.failures
+    );
+    assert_eq!(degraded_run.records.len(), 2);
+    let bib = degraded_run
+        .records
+        .iter()
+        .find(|r| r.symmetrization == "Bibliometric")
+        .unwrap();
+    assert!(bib.degraded, "simulated OOM must force degraded SpGEMM");
+    let aat = degraded_run
+        .records
+        .iter()
+        .find(|r| r.symmetrization == "A+A'")
+        .unwrap();
+    assert!(!aat.degraded, "sibling method untouched by the fault");
+
+    // Same engine, fault disarmed: the degraded artifact lives under a
+    // budget-qualified cache key, so the exact product is computed fresh.
+    let exact_run = engine.run(&input, &spec, &|_| {});
+    let bib_exact = exact_run
+        .records
+        .iter()
+        .find(|r| r.symmetrization == "Bibliometric")
+        .unwrap();
+    assert!(
+        !bib_exact.degraded,
+        "degraded artifact must not be served to an unbudgeted run"
+    );
+    assert!(bib_exact.sym_edges >= bib.sym_edges);
+}

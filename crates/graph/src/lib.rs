@@ -37,6 +37,14 @@ pub enum GraphError {
     Sparse(symclust_sparse::SparseError),
     /// Malformed input (parse errors, inconsistent sizes, ...).
     Invalid(String),
+    /// An edge-list line carried an edge the loader rejects (non-finite or
+    /// negative weight, self-loop, duplicate). `line` is 1-based.
+    BadEdge {
+        /// 1-based line number of the offending edge.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
     /// I/O failure while reading or writing graph files.
     Io(std::io::Error),
 }
@@ -46,6 +54,9 @@ impl std::fmt::Display for GraphError {
         match self {
             GraphError::Sparse(e) => write!(f, "sparse error: {e}"),
             GraphError::Invalid(msg) => write!(f, "invalid graph: {msg}"),
+            GraphError::BadEdge { line, reason } => {
+                write!(f, "bad edge at line {line}: {reason}")
+            }
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }
     }

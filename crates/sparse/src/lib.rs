@@ -37,9 +37,17 @@ pub use cancel::CancelToken;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
-pub use lanczos::{lanczos_smallest, tridiagonal_eigen, LanczosOptions, LanczosResult};
-pub use pagerank::{pagerank, stationary_distribution, PageRankOptions, PageRankResult};
-pub use spgemm::{spgemm, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, SpgemmOptions};
+pub use lanczos::{
+    lanczos_smallest, lanczos_smallest_cancellable, tridiagonal_eigen, LanczosOptions,
+    LanczosResult,
+};
+pub use pagerank::{
+    pagerank, pagerank_cancellable, stationary_distribution, PageRankOptions, PageRankResult,
+};
+pub use spgemm::{
+    spgemm, spgemm_budgeted, spgemm_cancellable, spgemm_nnz_upper_bound, spgemm_parallel,
+    spgemm_thresholded, BudgetedSpgemm, SpgemmOptions,
+};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SparseError>;

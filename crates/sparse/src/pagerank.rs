@@ -8,6 +8,7 @@
 //! the standard PageRank convention, which guarantees a unique stationary
 //! distribution for any input graph.
 
+use crate::cancel::CancelToken;
 use crate::csr::CsrMatrix;
 use crate::dense;
 use crate::error::SparseError;
@@ -51,6 +52,26 @@ pub struct PageRankResult {
 /// `a` is row-normalized internally; edge weights act as transition
 /// preferences.
 pub fn pagerank(a: &CsrMatrix, opts: &PageRankOptions) -> Result<PageRankResult> {
+    pagerank_with(a, opts, None)
+}
+
+/// [`pagerank`] that polls `token` once per power iteration and bails out
+/// with [`SparseError::Cancelled`] when it trips (explicitly or by
+/// deadline). The iteration holds no shared state, so a cancelled run
+/// leaves nothing poisoned — the same matrix can be solved again.
+pub fn pagerank_cancellable(
+    a: &CsrMatrix,
+    opts: &PageRankOptions,
+    token: &CancelToken,
+) -> Result<PageRankResult> {
+    pagerank_with(a, opts, Some(token))
+}
+
+fn pagerank_with(
+    a: &CsrMatrix,
+    opts: &PageRankOptions,
+    token: Option<&CancelToken>,
+) -> Result<PageRankResult> {
     if a.n_rows() != a.n_cols() {
         return Err(SparseError::DimensionMismatch {
             op: "pagerank",
@@ -80,6 +101,9 @@ pub fn pagerank(a: &CsrMatrix, opts: &PageRankOptions) -> Result<PageRankResult>
     let mut pi = vec![uniform; n];
     let mut next = vec![0.0f64; n];
     for iter in 1..=opts.max_iter {
+        if let Some(t) = token {
+            t.checkpoint()?;
+        }
         // next = damping * (Pᵀ pi + dangling_mass * uniform) + teleport * uniform
         let mut dangling_mass = 0.0;
         for (i, &d) in dangling.iter().enumerate() {
@@ -243,5 +267,57 @@ mod tests {
         let coo = CooMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
         let pi = stationary_distribution(&coo.to_csr()).unwrap();
         assert!((pi[0] - 0.5).abs() < 1e-8);
+    }
+
+    fn directed_ring(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 1.0).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn live_token_matches_plain_pagerank() {
+        let a = directed_ring(16);
+        let token = CancelToken::new();
+        let plain = pagerank(&a, &PageRankOptions::default()).unwrap();
+        let with_token = pagerank_cancellable(&a, &PageRankOptions::default(), &token).unwrap();
+        assert_eq!(plain.pi, with_token.pi);
+        assert_eq!(plain.iterations, with_token.iterations);
+    }
+
+    #[test]
+    fn cancel_mid_iteration_returns_promptly_without_poisoned_state() {
+        // tol = 0 means the residual test (`residual < tol`) never passes,
+        // so only cancellation can end this run before the huge budget.
+        let a = directed_ring(512);
+        let endless = PageRankOptions {
+            teleport: 0.05,
+            tol: 0.0,
+            max_iter: usize::MAX,
+        };
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let started = std::time::Instant::now();
+        let result = crossbeam::thread::scope(|scope| {
+            let handle = scope.spawn(|_| pagerank_cancellable(&a, &endless, &token));
+            // Let the iteration genuinely start, then cancel mid-flight.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            canceller.cancel();
+            handle.join().expect("pagerank worker panicked")
+        })
+        .expect("scope");
+        assert!(
+            matches!(result, Err(SparseError::Cancelled)),
+            "expected cancellation, got {result:?}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "cancellation was not prompt"
+        );
+        // No poisoned state: the same matrix solves fine afterwards.
+        let again = pagerank(&a, &PageRankOptions::default()).unwrap();
+        assert!((again.pi.iter().sum::<f64>() - 1.0).abs() < 1e-10);
     }
 }

@@ -268,6 +268,139 @@ pub fn spgemm_flops(a: &CsrMatrix, b: &CsrMatrix) -> usize {
         .sum()
 }
 
+/// Gustavson upper bound on `nnz(A·B)`: every multiply-add produces at most
+/// one output entry, so the FLOP count of the row pass bounds the output
+/// size. This is the estimate the memory-budget guard compares against its
+/// nnz budget *before* allocating anything output-sized.
+pub fn spgemm_nnz_upper_bound(a: &CsrMatrix, b: &CsrMatrix) -> usize {
+    spgemm_flops(a, b)
+}
+
+/// Outcome of [`spgemm_budgeted`]: the product plus degradation provenance.
+#[derive(Debug, Clone)]
+pub struct BudgetedSpgemm {
+    /// The (possibly additionally thresholded) product.
+    pub matrix: CsrMatrix,
+    /// Whether the budget forced a degraded (adaptively thresholded)
+    /// computation instead of the exact one.
+    pub degraded: bool,
+    /// The threshold in effect when the last row was produced. Equals
+    /// `opts.threshold` when not degraded.
+    pub threshold_used: f64,
+    /// The Gustavson upper bound on the exact output nnz that was compared
+    /// against the budget.
+    pub estimated_nnz: usize,
+}
+
+/// SpGEMM under an output-size budget: if the Gustavson upper bound on
+/// `nnz(A·B)` fits within `budget_nnz`, this is an exact (possibly
+/// parallel) multiply. Otherwise the multiply degrades gracefully instead
+/// of aborting: it runs serially with an *adaptive* threshold — whenever
+/// the accumulated output exceeds the budget, the threshold is raised to
+/// the magnitude that keeps roughly `budget_nnz / 2` of the strongest
+/// entries and the output built so far is compacted. The result is a
+/// deterministic, thresholded approximation whose memory never grows
+/// past O(`budget_nnz`) plus one dense accumulator row.
+pub fn spgemm_budgeted(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    opts: &SpgemmOptions,
+    budget_nnz: usize,
+    token: Option<&CancelToken>,
+) -> Result<BudgetedSpgemm> {
+    check_dims(a, b)?;
+    if budget_nnz == 0 {
+        return Err(SparseError::InvalidArgument(
+            "spgemm budget must be positive".into(),
+        ));
+    }
+    let estimated_nnz = spgemm_nnz_upper_bound(a, b);
+    if estimated_nnz <= budget_nnz {
+        let matrix = match token {
+            Some(t) => spgemm_cancellable(a, b, opts, t)?,
+            None if opts.n_threads != 1 => spgemm_parallel(a, b, opts)?,
+            None => spgemm_thresholded(a, b, opts)?,
+        };
+        return Ok(BudgetedSpgemm {
+            matrix,
+            degraded: false,
+            threshold_used: opts.threshold,
+            estimated_nnz,
+        });
+    }
+
+    // Degraded path: serial Gustavson with adaptive thresholding.
+    let n_rows = a.n_rows();
+    let n_cols = b.n_cols();
+    let mut acc = vec![0.0f64; n_cols];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut indptr = Vec::with_capacity(n_rows + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    let mut live_opts = *opts;
+    for row in 0..n_rows {
+        if let Some(t) = token {
+            t.checkpoint()?;
+        }
+        gustavson_row(
+            a,
+            b,
+            row,
+            &mut acc,
+            &mut touched,
+            &live_opts,
+            &mut indices,
+            &mut values,
+        );
+        indptr.push(indices.len());
+        if values.len() > budget_nnz {
+            // Raise the threshold to the magnitude of the ~(budget/2)-th
+            // strongest entry seen so far, then drop everything weaker.
+            // Halving (instead of trimming to exactly the budget) keeps
+            // compactions O(log) in number rather than per-row.
+            let keep = (budget_nnz / 2).max(1);
+            let mut mags: Vec<f64> = values.iter().map(|v| v.abs()).collect();
+            let kth = keep.min(mags.len()) - 1;
+            mags.select_nth_unstable_by(kth, |x, y| y.total_cmp(x));
+            live_opts.threshold = live_opts.threshold.max(mags[kth]);
+            compact_thresholded(&mut indptr, &mut indices, &mut values, live_opts.threshold);
+        }
+    }
+    Ok(BudgetedSpgemm {
+        matrix: CsrMatrix::from_raw_parts_unchecked(n_rows, n_cols, indptr, indices, values),
+        degraded: true,
+        threshold_used: live_opts.threshold,
+        estimated_nnz,
+    })
+}
+
+/// Drops entries with `|v| < threshold` from a partially-built CSR triple
+/// in place, rewriting `indptr` for the rows emitted so far.
+fn compact_thresholded(
+    indptr: &mut [usize],
+    indices: &mut Vec<u32>,
+    values: &mut Vec<f64>,
+    threshold: f64,
+) {
+    let mut write = 0usize;
+    let mut read_row_end = 0usize;
+    for p in indptr.iter_mut().skip(1) {
+        let row_start = read_row_end;
+        read_row_end = *p;
+        for read in row_start..read_row_end {
+            if values[read].abs() >= threshold {
+                indices[write] = indices[read];
+                values[write] = values[read];
+                write += 1;
+            }
+        }
+        *p = write;
+    }
+    indices.truncate(write);
+    values.truncate(write);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,5 +569,70 @@ mod tests {
         let a = CsrMatrix::from_dense(&[vec![1.0, 1.0], vec![0.0, 1.0]]);
         // row0 of A hits rows 0 and 1 of B (nnz 2 + 1), row1 hits row 1 (1).
         assert_eq!(spgemm_flops(&a, &a), 4);
+        assert_eq!(spgemm_nnz_upper_bound(&a, &a), 4);
+    }
+
+    #[test]
+    fn budgeted_within_budget_is_exact() {
+        let a = CsrMatrix::from_dense(&[
+            vec![1.0, 2.0, 0.0],
+            vec![0.0, 3.0, 4.0],
+            vec![1.0, 0.0, 1.0],
+        ]);
+        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 1_000_000, None).unwrap();
+        assert!(!r.degraded);
+        assert_eq!(r.threshold_used, 0.0);
+        assert_eq!(r.matrix, spgemm(&a, &a).unwrap());
+        assert!(r.estimated_nnz >= r.matrix.nnz());
+    }
+
+    #[test]
+    fn budgeted_over_budget_degrades_and_respects_budget() {
+        // Dense-ish 32x32 product: exact output has ~1024 entries.
+        let n = 32;
+        let mut rows = vec![vec![0.0; n]; n];
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for r in rows.iter_mut() {
+            for v in r.iter_mut() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *v = ((state >> 56) % 5) as f64; // many nonzeros, varied values
+            }
+        }
+        let a = CsrMatrix::from_dense(&rows);
+        let budget = 64;
+        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), budget, None).unwrap();
+        assert!(r.degraded);
+        assert!(r.threshold_used > 0.0);
+        assert!(r.estimated_nnz > budget);
+        // The final compaction keeps the output near the budget (it can
+        // exceed budget only transiently, between compactions).
+        assert!(
+            r.matrix.nnz() <= budget + n,
+            "nnz {} way over budget {budget}",
+            r.matrix.nnz()
+        );
+        r.matrix.validate().unwrap();
+        // Every surviving entry matches the exact product and passes the
+        // final threshold.
+        let exact = spgemm(&a, &a).unwrap();
+        for (row, col, v) in r.matrix.iter() {
+            assert!((exact.get(row, col as usize) - v).abs() < 1e-12);
+            assert!(v.abs() >= r.threshold_used);
+        }
+        // Degraded output is deterministic.
+        let again = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), budget, None).unwrap();
+        assert_eq!(r.matrix, again.matrix);
+    }
+
+    #[test]
+    fn budgeted_rejects_zero_budget_and_honors_cancellation() {
+        let a = CsrMatrix::from_dense(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        assert!(spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 0, None).is_err());
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 1, Some(&token));
+        assert_eq!(r.err(), Some(SparseError::Cancelled));
     }
 }

@@ -19,4 +19,10 @@ cargo test -q
 echo "==> workspace tests: cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> fault injection: cargo test -q -p symclust-engine --features fault-injection"
+cargo test -q -p symclust-engine --features fault-injection
+
+echo "==> debug assertions: cargo test -q -p symclust-engine (release + debug-assertions)"
+RUSTFLAGS="${RUSTFLAGS:-} -C debug-assertions=on" cargo test -q --release -p symclust-engine
+
 echo "CI gate passed."
