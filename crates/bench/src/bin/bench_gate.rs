@@ -1,0 +1,72 @@
+//! Bench regression gate CLI.
+//!
+//! ```text
+//! bench_gate emit  <metrics.json>  <BENCH_pipeline.json>
+//! bench_gate check <baseline.json> <current.json> [wall-tolerance]
+//! ```
+//!
+//! `emit` converts a `symclust pipeline --metrics-out` file into the
+//! stable BENCH schema; `check` compares two BENCH files and exits
+//! non-zero on any deterministic-counter mismatch or a wall-clock
+//! regression beyond the tolerance (default 0.25 = 25%).
+
+use symclust_bench::gate;
+
+fn main() {
+    std::process::exit(match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            1
+        }
+    });
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("emit") => {
+            let [_, metrics_path, out_path] = args.as_slice() else {
+                return Err("usage: bench_gate emit <metrics.json> <out.json>".into());
+            };
+            let metrics = gate::read_flat_json(metrics_path)?;
+            let bench = gate::emit_bench_json(&metrics)?;
+            std::fs::write(out_path, &bench).map_err(|e| format!("writing {out_path}: {e}"))?;
+            println!("wrote {out_path}");
+            Ok(())
+        }
+        Some("check") => {
+            let (baseline_path, current_path, tolerance) = match args.as_slice() {
+                [_, b, c] => (b, c, 0.25),
+                [_, b, c, t] => (
+                    b,
+                    c,
+                    t.parse::<f64>()
+                        .map_err(|_| format!("invalid tolerance '{t}'"))?,
+                ),
+                _ => {
+                    return Err(
+                        "usage: bench_gate check <baseline.json> <current.json> [tolerance]".into(),
+                    )
+                }
+            };
+            let baseline = gate::read_flat_json(baseline_path)?;
+            let current = gate::read_flat_json(current_path)?;
+            let violations = gate::compare(&baseline, &current, tolerance);
+            if violations.is_empty() {
+                println!(
+                    "bench gate OK: {current_path} matches {baseline_path} \
+                     (wall tolerance {:.0}%)",
+                    tolerance * 100.0
+                );
+                Ok(())
+            } else {
+                for v in &violations {
+                    eprintln!("bench gate FAIL: {v}");
+                }
+                Err(format!("{} violation(s)", violations.len()))
+            }
+        }
+        _ => Err("usage: bench_gate emit|check ... (see --help in source)".into()),
+    }
+}

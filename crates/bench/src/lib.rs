@@ -15,6 +15,11 @@
 //! Criterion micro-benchmarks for the individual kernels (SpGEMM, each
 //! symmetrization, each clusterer) live in `benches/`.
 
+//! The `bench_gate` binary turns a `symclust pipeline --metrics-out` JSON
+//! into the stable `BENCH_pipeline.json` schema and compares two such
+//! files for CI regression gating (see [`gate`]).
+
+pub mod gate;
 pub mod runner;
 
 pub use runner::{RunRecord, SymMethod};

@@ -1,4 +1,8 @@
 //! Minimal `--flag value` argument parsing (no external dependencies).
+//!
+//! A flag immediately followed by another flag (or by the end of the
+//! argument list) is a bare boolean switch and parses as `"true"`, so
+//! `--quiet` and `--quiet true` are equivalent.
 
 use std::collections::HashMap;
 
@@ -9,7 +13,8 @@ pub struct ParsedArgs {
 }
 
 impl ParsedArgs {
-    /// Parses a flat list of `--flag value` pairs.
+    /// Parses a flat list of `--flag value` pairs and bare `--flag`
+    /// boolean switches.
     pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         let mut flags = HashMap::new();
         let mut i = 0;
@@ -18,13 +23,14 @@ impl ParsedArgs {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --flag, got '{key}'"));
             };
-            let Some(value) = args.get(i + 1) else {
-                return Err(format!("flag --{name} is missing a value"));
+            let (value, consumed) = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => (v.clone(), 2),
+                _ => ("true".to_string(), 1),
             };
-            if flags.insert(name.to_string(), value.clone()).is_some() {
+            if flags.insert(name.to_string(), value).is_some() {
                 return Err(format!("flag --{name} given twice"));
             }
-            i += 2;
+            i += consumed;
         }
         Ok(ParsedArgs { flags })
     }
@@ -82,10 +88,22 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bare_values_and_missing_values() {
+    fn rejects_bare_values_and_duplicates() {
         assert!(ParsedArgs::parse(&s(&["input"])).is_err());
-        assert!(ParsedArgs::parse(&s(&["--input"])).is_err());
         assert!(ParsedArgs::parse(&s(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn bare_flags_parse_as_boolean_switches() {
+        let a =
+            ParsedArgs::parse(&s(&["--metrics", "--metrics-out", "m.json", "--quiet"])).unwrap();
+        assert!(a.get_or("metrics", false).unwrap());
+        assert_eq!(a.required("metrics-out").unwrap(), "m.json");
+        assert!(a.get_or("quiet", false).unwrap());
+        // Explicit values still work, including negative numbers.
+        let b = ParsedArgs::parse(&s(&["--quiet", "false", "--threshold", "-1"])).unwrap();
+        assert!(!b.get_or("quiet", true).unwrap());
+        assert_eq!(b.get::<f64>("threshold").unwrap(), Some(-1.0));
     }
 
     #[test]

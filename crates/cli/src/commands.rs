@@ -320,12 +320,14 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
         },
         memory_budget: args.get::<usize>("memory-budget")?,
         journal: args.optional("resume").map(std::path::PathBuf::from),
+        metrics: None,
     };
     let quiet: bool = args.get_or("quiet", false)?;
 
     let engine = Engine::new(opts);
     let input = PipelineInput::new(name, graph, truth);
     let event_log = std::sync::Mutex::new(String::new());
+    let run_start = std::time::Instant::now();
     let result = engine.run(&input, &spec, &|e| {
         if !quiet {
             println!("{}", e.render());
@@ -334,6 +336,7 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
         buf.push_str(&e.to_json());
         buf.push('\n');
     });
+    let wall_secs = run_start.elapsed().as_secs_f64();
 
     if let Some(path) = args.optional("events") {
         std::fs::write(path, event_log.into_inner().unwrap())
@@ -350,10 +353,37 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
         println!("wrote {} records to {path}", result.records.len());
     }
 
+    if args.get_or("metrics", false)? {
+        println!("\n{}", result.metrics.render_table());
+        let fallbacks = result
+            .metrics
+            .counter("spgemm.degraded_fallbacks")
+            .unwrap_or(0);
+        if fallbacks > 0 {
+            println!(
+                "warning: {fallbacks} SpGEMM product(s) exceeded the memory \
+                 budget and fell back to adaptive thresholding (degraded \
+                 results; see spgemm.budget_compactions)"
+            );
+        }
+    }
+    if let Some(path) = args.optional("metrics-out") {
+        // The stable flat key scheme (DESIGN.md §11), plus the run's wall
+        // time — the contract `scripts/bench_gate.sh` regresses against.
+        let mut obj = symclust_engine::json::JsonObject::new();
+        for (key, value) in result.metrics.to_flat() {
+            obj.number(&key, value);
+        }
+        obj.number("wall_secs", wall_secs);
+        std::fs::write(path, obj.finish()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote metrics to {path}");
+    }
+
     print_records("pipeline results", &result.records);
     println!(
-        "\ncache: {} hits / {} misses; stages skipped: {}; chains resumed: {}",
-        result.cache.hits, result.cache.misses, result.skipped, result.resumed
+        "\ncache: {} hits / {} misses ({} deduplicated in flight); \
+         stages skipped: {}; chains resumed: {}",
+        result.cache.hits, result.cache.misses, result.cache.dedups, result.skipped, result.resumed
     );
     let degraded = result.records.iter().filter(|r| r.degraded).count();
     if degraded > 0 {
@@ -563,6 +593,56 @@ mod tests {
         let hits = evs.lines().filter(|l| l.contains("\"cache_hit\"")).count();
         assert_eq!(hits, 4, "{evs}");
         assert!(evs.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn pipeline_metrics_table_and_json_cover_all_layers() {
+        let metrics_out = tmp("pipeline_metrics.json");
+        // Bare switches: `--metrics` with no value, as on a real command
+        // line (`symclust pipeline --metrics --metrics-out m.json`).
+        let flat: Vec<String> = [
+            "--model",
+            "dsbm",
+            "--nodes",
+            "300",
+            "--clusters",
+            "6",
+            "--clusterers",
+            "mlrmcl,metis",
+            "--quiet",
+            "--metrics",
+            "--metrics-out",
+            &metrics_out,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        pipeline(&ParsedArgs::parse(&flat).unwrap()).unwrap();
+
+        let json = std::fs::read_to_string(&metrics_out).unwrap();
+        let obj = symclust_engine::json::parse_object(&json).unwrap();
+        let num = |key: &str| -> f64 {
+            obj.get(key)
+                .unwrap_or_else(|| panic!("missing key {key} in {json}"))
+                .as_f64()
+                .unwrap()
+        };
+        // SpGEMM work counters from the similarity symmetrizations.
+        assert!(num("counter.spgemm.flops") > 0.0);
+        assert!(num("counter.spgemm.nnz_final") > 0.0);
+        assert!(num("counter.spgemm.calls") >= 4.0);
+        // Engine cache counters: 4 methods × 2 clusterers, each
+        // symmetrization computed once.
+        assert_eq!(num("counter.engine.cache_misses"), 4.0);
+        assert_eq!(num("counter.engine.cache_hits"), 4.0);
+        // Per-stage span timings and the run wall time.
+        for kind in ["load", "symmetrize", "cluster", "evaluate"] {
+            assert!(num(&format!("span.stage.{kind}.count")) > 0.0);
+            assert!(num(&format!("span.stage.{kind}.total_secs")) >= 0.0);
+        }
+        assert!(num("wall_secs") > 0.0);
+        // MCL counters from the mlrmcl chains.
+        assert_eq!(num("counter.mcl.runs"), 4.0);
     }
 
     #[test]

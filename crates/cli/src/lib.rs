@@ -86,7 +86,8 @@ SUBCOMMANDS:
               [--target-degree D | --threshold T] [--prune T]
               [--threads N] [--timeout-secs S] [--retries N]
               [--memory-budget ENTRIES] [--resume JOURNAL.jsonl]
-              [--events FILE] [--records FILE] [--quiet true]
+              [--events FILE] [--records FILE] [--quiet]
+              [--metrics] [--metrics-out FILE.json]
   eval        score a clustering against ground truth
               --clusters FILE --truth FILE
   nibble      local cluster around one node (PageRank-Nibble)

@@ -143,6 +143,23 @@ pub trait ClusterAlgorithm {
         self.cluster_ungraph(g)
     }
 
+    /// [`cluster_ungraph_cancellable`](Self::cluster_ungraph_cancellable)
+    /// that also records algorithm counters (iterations, convergence —
+    /// DESIGN.md §11) into `metrics`.
+    ///
+    /// The default implementation ignores the registry; [`MlrMcl`]
+    /// overrides it to record R-MCL iteration counts and convergence
+    /// residuals from inside the flow loop.
+    fn cluster_observed(
+        &self,
+        g: &UnGraph,
+        token: &symclust_sparse::CancelToken,
+        metrics: Option<&symclust_obs::MetricsRegistry>,
+    ) -> Result<Clustering> {
+        let _ = metrics;
+        self.cluster_ungraph_cancellable(g, token)
+    }
+
     /// Clusters anything viewable as an undirected graph (ergonomic entry
     /// point; accepts `&UnGraph` or `&SymmetrizedGraph`).
     fn cluster<G: AsUnGraph>(&self, g: &G) -> Result<Clustering>

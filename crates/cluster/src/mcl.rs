@@ -16,7 +16,23 @@ use crate::clustering::Clustering;
 use crate::{ClusterError, Result};
 use symclust_graph::stats::UnionFind;
 use symclust_graph::UnGraph;
+use symclust_obs::MetricsRegistry;
 use symclust_sparse::{ops, CsrMatrix};
+
+/// Stable metric names recorded by the R-MCL iteration (DESIGN.md §11).
+pub mod metric_names {
+    /// R-MCL iteration loops completed (one per flow run, across levels).
+    pub const RUNS: &str = "mcl.runs";
+    /// Total expand–inflate–prune iterations performed.
+    pub const ITERATIONS: &str = "mcl.iterations";
+    /// Runs whose assignment stabilized within the iteration budget.
+    pub const CONVERGED_RUNS: &str = "mcl.converged_runs";
+    /// Runs that exhausted the budget without stabilizing.
+    pub const NONCONVERGED_RUNS: &str = "mcl.nonconverged_runs";
+    /// Gauge: fraction of nodes whose cluster assignment changed in the
+    /// last iteration of the most recent run (0 at convergence).
+    pub const FINAL_RESIDUAL: &str = "mcl.final_residual";
+}
 
 /// Options for [`rmcl`].
 #[derive(Debug, Clone, Copy)]
@@ -380,7 +396,7 @@ pub fn rmcl_iterate(
     opts: &MclOptions,
     max_iter: usize,
 ) -> Result<(CsrMatrix, usize, bool)> {
-    rmcl_iterate_with(m_g, m0, opts, max_iter, None)
+    rmcl_iterate_with(m_g, m0, opts, max_iter, None, None)
 }
 
 /// [`rmcl_iterate`] that polls `token` before every expand-inflate-prune
@@ -393,7 +409,7 @@ pub fn rmcl_iterate_cancellable(
     max_iter: usize,
     token: &symclust_sparse::CancelToken,
 ) -> Result<(CsrMatrix, usize, bool)> {
-    rmcl_iterate_with(m_g, m0, opts, max_iter, Some(token))
+    rmcl_iterate_with(m_g, m0, opts, max_iter, Some(token), None)
 }
 
 pub(crate) fn rmcl_iterate_with(
@@ -402,11 +418,16 @@ pub(crate) fn rmcl_iterate_with(
     opts: &MclOptions,
     max_iter: usize,
     token: Option<&symclust_sparse::CancelToken>,
+    metrics: Option<&MetricsRegistry>,
 ) -> Result<(CsrMatrix, usize, bool)> {
     let mut m = m0;
     let mut prev_assignment: Option<Vec<u32>> = None;
     let mut stable = 0usize;
     let mut iterations = 0usize;
+    // Convergence residual: fraction of nodes whose assignment changed in
+    // the latest iteration (1.0 before the first comparison is possible).
+    let mut residual = 1.0f64;
+    let mut converged = false;
     for iter in 1..=max_iter {
         if let Some(t) = token {
             t.checkpoint()?;
@@ -414,17 +435,35 @@ pub(crate) fn rmcl_iterate_with(
         iterations = iter;
         m = expand_inflate_prune(&m, m_g, opts);
         let assignment = extract_clusters(&m).assignments().to_vec();
-        if prev_assignment.as_deref() == Some(&assignment[..]) {
+        let changed = match prev_assignment.as_deref() {
+            Some(prev) => prev.iter().zip(&assignment).filter(|(a, b)| a != b).count(),
+            None => assignment.len(),
+        };
+        residual = changed as f64 / assignment.len().max(1) as f64;
+        if changed == 0 && prev_assignment.is_some() {
             stable += 1;
             if stable >= opts.stable_iterations {
-                return Ok((m, iterations, true));
+                converged = true;
+                break;
             }
         } else {
             stable = 0;
         }
         prev_assignment = Some(assignment);
     }
-    Ok((m, iterations, false))
+    if let Some(metrics) = metrics {
+        metrics.counter(metric_names::RUNS).inc();
+        metrics
+            .counter(metric_names::ITERATIONS)
+            .add(iterations as u64);
+        if converged {
+            metrics.counter(metric_names::CONVERGED_RUNS).inc();
+        } else {
+            metrics.counter(metric_names::NONCONVERGED_RUNS).inc();
+        }
+        metrics.gauge(metric_names::FINAL_RESIDUAL).set(residual);
+    }
+    Ok((m, iterations, converged))
 }
 
 /// Runs single-level R-MCL on an undirected graph.

@@ -13,6 +13,7 @@ use crate::coarsen::{coarsen_graph, CoarsenOptions};
 use crate::mcl::{canonical_flow_capped, extract_clusters, rmcl_iterate_with, MclOptions};
 use crate::{ClusterAlgorithm, ClusterError, Result};
 use symclust_graph::UnGraph;
+use symclust_obs::MetricsRegistry;
 use symclust_sparse::{CancelToken, CsrMatrix};
 
 /// Options for [`MlrMcl`].
@@ -126,7 +127,12 @@ fn project_flow(coarse_flow: &CsrMatrix, map: &[u32], n_fine: usize) -> CsrMatri
 }
 
 impl MlrMcl {
-    fn cluster_with(&self, g: &UnGraph, token: Option<&CancelToken>) -> Result<Clustering> {
+    fn cluster_with(
+        &self,
+        g: &UnGraph,
+        token: Option<&CancelToken>,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<Clustering> {
         if self.options.mcl.inflation <= 1.0 {
             return Err(ClusterError::InvalidConfig(format!(
                 "inflation must exceed 1.0, got {}",
@@ -150,6 +156,7 @@ impl MlrMcl {
             &self.options.mcl,
             self.options.mcl.max_iter,
             token,
+            metrics,
         )?;
 
         // Walk back up the hierarchy, refining at each level.
@@ -170,8 +177,14 @@ impl MlrMcl {
             } else {
                 self.options.iterations_per_level
             };
-            let (refined, _, level_converged) =
-                rmcl_iterate_with(&m_g_fine, projected, &self.options.mcl, iters, token)?;
+            let (refined, _, level_converged) = rmcl_iterate_with(
+                &m_g_fine,
+                projected,
+                &self.options.mcl,
+                iters,
+                token,
+                metrics,
+            )?;
             flow = refined;
             // Only the final (level-0) run gets the full iteration budget;
             // its convergence is what the best-effort flag reports.
@@ -191,11 +204,20 @@ impl ClusterAlgorithm for MlrMcl {
     }
 
     fn cluster_ungraph(&self, g: &UnGraph) -> Result<Clustering> {
-        self.cluster_with(g, None)
+        self.cluster_with(g, None, None)
     }
 
     fn cluster_ungraph_cancellable(&self, g: &UnGraph, token: &CancelToken) -> Result<Clustering> {
-        self.cluster_with(g, Some(token))
+        self.cluster_with(g, Some(token), None)
+    }
+
+    fn cluster_observed(
+        &self,
+        g: &UnGraph,
+        token: &CancelToken,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<Clustering> {
+        self.cluster_with(g, Some(token), metrics)
     }
 }
 
@@ -340,5 +362,24 @@ mod tests {
             .unwrap();
         let plain = MlrMcl::default().cluster_ungraph(&g).unwrap();
         assert_eq!(with_token.assignments(), plain.assignments());
+    }
+
+    #[test]
+    fn observed_run_records_mcl_counters() {
+        use crate::mcl::metric_names;
+        let g = clique_ring(8, 6);
+        let m = MetricsRegistry::new();
+        let token = CancelToken::new();
+        let c = MlrMcl::default()
+            .cluster_observed(&g, &token, Some(&m))
+            .unwrap();
+        assert!(c.converged());
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(metric_names::RUNS), Some(1));
+        assert!(snap.counter(metric_names::ITERATIONS).unwrap() >= 2);
+        assert_eq!(snap.counter(metric_names::CONVERGED_RUNS), Some(1));
+        assert_eq!(snap.counter(metric_names::NONCONVERGED_RUNS), None);
+        // Converged run: nothing changed in the last iteration.
+        assert_eq!(snap.gauge(metric_names::FINAL_RESIDUAL), Some(0.0));
     }
 }

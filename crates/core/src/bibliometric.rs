@@ -16,10 +16,8 @@
 use crate::{Result, SymmetrizedGraph, Symmetrizer};
 use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
-use symclust_sparse::{
-    ops, spgemm_budgeted, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, CancelToken,
-    SpgemmOptions,
-};
+use symclust_obs::MetricsRegistry;
+use symclust_sparse::{ops, spgemm_budgeted, spgemm_observed, CancelToken, SpgemmOptions};
 
 /// Options for [`Bibliometric`].
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +71,7 @@ impl Bibliometric {
         a: &symclust_sparse::CsrMatrix,
         b: &symclust_sparse::CsrMatrix,
         token: Option<&CancelToken>,
+        metrics: Option<&MetricsRegistry>,
     ) -> Result<(symclust_sparse::CsrMatrix, bool)> {
         let opts = SpgemmOptions {
             threshold: self.options.threshold,
@@ -80,14 +79,10 @@ impl Bibliometric {
             n_threads: if self.options.parallel { 0 } else { 1 },
         };
         if let Some(budget) = self.options.nnz_budget {
-            let r = spgemm_budgeted(a, b, &opts, budget, token)?;
+            let r = spgemm_budgeted(a, b, &opts, budget, token, metrics)?;
             return Ok((r.matrix, r.degraded));
         }
-        let m = match token {
-            Some(t) => spgemm_cancellable(a, b, &opts, t)?,
-            None if self.options.parallel => spgemm_parallel(a, b, &opts)?,
-            None => spgemm_thresholded(a, b, &opts)?,
-        };
+        let m = spgemm_observed(a, b, &opts, token, metrics)?;
         Ok((m, false))
     }
 
@@ -95,6 +90,7 @@ impl Bibliometric {
         &self,
         g: &DiGraph,
         token: Option<&CancelToken>,
+        metrics: Option<&MetricsRegistry>,
     ) -> Result<SymmetrizedGraph> {
         let start = Instant::now();
         let a_base = g.adjacency();
@@ -104,8 +100,8 @@ impl Bibliometric {
             a_base.clone()
         };
         let at = ops::transpose(&a);
-        let (coupling, coupling_degraded) = self.multiply(&a, &at, token)?; // AAᵀ
-        let (cocitation, cocitation_degraded) = self.multiply(&at, &a, token)?; // AᵀA
+        let (coupling, coupling_degraded) = self.multiply(&a, &at, token, metrics)?; // AAᵀ
+        let (cocitation, cocitation_degraded) = self.multiply(&at, &a, token, metrics)?; // AᵀA
         let mut u = ops::add(&coupling, &cocitation)?;
         if self.options.threshold > 0.0 {
             u = ops::prune(&u, self.options.threshold).0;
@@ -127,11 +123,20 @@ impl Symmetrizer for Bibliometric {
     }
 
     fn symmetrize(&self, g: &DiGraph) -> Result<SymmetrizedGraph> {
-        self.symmetrize_with(g, None)
+        self.symmetrize_with(g, None, None)
     }
 
     fn symmetrize_cancellable(&self, g: &DiGraph, token: &CancelToken) -> Result<SymmetrizedGraph> {
-        self.symmetrize_with(g, Some(token))
+        self.symmetrize_with(g, Some(token), None)
+    }
+
+    fn symmetrize_observed(
+        &self,
+        g: &DiGraph,
+        token: &CancelToken,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<SymmetrizedGraph> {
+        self.symmetrize_with(g, Some(token), metrics)
     }
 }
 

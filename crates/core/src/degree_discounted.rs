@@ -25,9 +25,9 @@
 use crate::{Result, SymmetrizeError, SymmetrizedGraph, Symmetrizer};
 use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
+use symclust_obs::MetricsRegistry;
 use symclust_sparse::{
-    ops, spgemm_budgeted, spgemm_cancellable, spgemm_parallel, spgemm_thresholded, CancelToken,
-    CsrMatrix, SpgemmOptions,
+    ops, spgemm_budgeted, spgemm_observed, CancelToken, CsrMatrix, SpgemmOptions,
 };
 
 /// How a node's degree discounts its similarity contributions (Table 4 rows).
@@ -224,7 +224,8 @@ impl SimilarityFactors {
     /// this is the same flavor of approximation the paper accepts by pruning
     /// during the similarity computation, §3.5/§3.6.)
     pub fn full(&self, threshold: f64, parallel: bool) -> Result<CsrMatrix> {
-        self.full_with(threshold, parallel, None, None).map(|r| r.0)
+        self.full_with(threshold, parallel, None, None, None)
+            .map(|r| r.0)
     }
 
     /// [`full`](Self::full) that polls `token` inside the SpGEMM row loops.
@@ -234,7 +235,7 @@ impl SimilarityFactors {
         parallel: bool,
         token: &CancelToken,
     ) -> Result<CsrMatrix> {
-        self.full_with(threshold, parallel, Some(token), None)
+        self.full_with(threshold, parallel, Some(token), None, None)
             .map(|r| r.0)
     }
 
@@ -248,6 +249,7 @@ impl SimilarityFactors {
         parallel: bool,
         token: Option<&CancelToken>,
         nnz_budget: Option<usize>,
+        metrics: Option<&MetricsRegistry>,
     ) -> Result<(CsrMatrix, bool)> {
         let opts = SpgemmOptions {
             threshold: threshold / 2.0,
@@ -256,14 +258,10 @@ impl SimilarityFactors {
         };
         let multiply = |a: &CsrMatrix, b: &CsrMatrix| -> Result<(CsrMatrix, bool)> {
             if let Some(budget) = nnz_budget {
-                let r = spgemm_budgeted(a, b, &opts, budget, token)?;
+                let r = spgemm_budgeted(a, b, &opts, budget, token, metrics)?;
                 return Ok((r.matrix, r.degraded));
             }
-            let m = match token {
-                Some(t) => spgemm_cancellable(a, b, &opts, t)?,
-                None if parallel => spgemm_parallel(a, b, &opts)?,
-                None => spgemm_thresholded(a, b, &opts)?,
-            };
+            let m = spgemm_observed(a, b, &opts, token, metrics)?;
             Ok((m, false))
         };
         let (bd, bd_degraded) = multiply(&self.x, &self.xt)?;
@@ -281,6 +279,7 @@ impl DegreeDiscounted {
         &self,
         g: &DiGraph,
         token: Option<&CancelToken>,
+        metrics: Option<&MetricsRegistry>,
     ) -> Result<SymmetrizedGraph> {
         if let DiscountExponent::Power(p) = self.options.alpha {
             if p < 0.0 {
@@ -303,6 +302,7 @@ impl DegreeDiscounted {
             self.options.parallel,
             token,
             self.options.nnz_budget,
+            metrics,
         )?;
         let mut un = UnGraph::from_symmetric_unchecked(u);
         if let Some(labels) = g.labels() {
@@ -321,11 +321,20 @@ impl Symmetrizer for DegreeDiscounted {
     }
 
     fn symmetrize(&self, g: &DiGraph) -> Result<SymmetrizedGraph> {
-        self.symmetrize_with(g, None)
+        self.symmetrize_with(g, None, None)
     }
 
     fn symmetrize_cancellable(&self, g: &DiGraph, token: &CancelToken) -> Result<SymmetrizedGraph> {
-        self.symmetrize_with(g, Some(token))
+        self.symmetrize_with(g, Some(token), None)
+    }
+
+    fn symmetrize_observed(
+        &self,
+        g: &DiGraph,
+        token: &CancelToken,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<SymmetrizedGraph> {
+        self.symmetrize_with(g, Some(token), metrics)
     }
 }
 

@@ -124,4 +124,22 @@ pub trait Symmetrizer {
         token.checkpoint()?;
         self.symmetrize(g)
     }
+
+    /// [`symmetrize_cancellable`](Self::symmetrize_cancellable) that also
+    /// records kernel work counters (SpGEMM rows/flops/nnz, degraded
+    /// fallbacks — DESIGN.md §11) into `metrics`.
+    ///
+    /// The default implementation ignores the registry — correct for the
+    /// cheap methods, whose cost the engine's stage spans already capture.
+    /// The SpGEMM-backed methods ([`Bibliometric`], [`DegreeDiscounted`])
+    /// override it to thread the registry into their multiply kernels.
+    fn symmetrize_observed(
+        &self,
+        g: &DiGraph,
+        token: &symclust_sparse::CancelToken,
+        metrics: Option<&symclust_obs::MetricsRegistry>,
+    ) -> Result<SymmetrizedGraph> {
+        let _ = metrics;
+        self.symmetrize_cancellable(g, token)
+    }
 }

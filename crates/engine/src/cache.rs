@@ -33,6 +33,9 @@ pub struct CacheStats {
     pub hits: usize,
     /// Requests that ran the compute closure.
     pub misses: usize,
+    /// The subset of `hits` that parked behind another worker's in-flight
+    /// computation of the same key (concurrent duplicate work avoided).
+    pub dedups: usize,
 }
 
 /// Thread-safe artifact cache keyed by `u64` content hashes.
@@ -41,6 +44,7 @@ pub struct ArtifactCache<T> {
     ready: Condvar,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    dedups: AtomicUsize,
 }
 
 /// Clears an owned in-flight marker if the computing thread unwinds.
@@ -84,6 +88,7 @@ impl<T> ArtifactCache<T> {
             ready: Condvar::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            dedups: AtomicUsize::new(0),
         }
     }
 
@@ -100,15 +105,20 @@ impl<T> ArtifactCache<T> {
         key: u64,
         compute: impl FnOnce() -> Result<T, E>,
     ) -> Result<(Arc<T>, bool), E> {
+        let mut waited = false;
         loop {
             let mut slots = self.slots.lock().expect("cache lock");
             match slots.get(&key) {
                 Some(Slot::Ready(v)) => {
                     let v = Arc::clone(v);
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if waited {
+                        self.dedups.fetch_add(1, Ordering::Relaxed);
+                    }
                     return Ok((v, true));
                 }
                 Some(Slot::InFlight) => {
+                    waited = true;
                     // Another worker is on it; park until the slot changes,
                     // then re-examine (it may be Ready, or cleared by a
                     // failed computation).
@@ -179,6 +189,7 @@ impl<T> ArtifactCache<T> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            dedups: self.dedups.load(Ordering::Relaxed),
         }
     }
 }
@@ -196,7 +207,14 @@ mod tests {
             .get_or_compute(1, || -> Result<u32, ()> { panic!("must not recompute") })
             .unwrap();
         assert_eq!((*v, hit), (7, true));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                dedups: 0,
+            }
+        );
     }
 
     #[test]
@@ -281,5 +299,19 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+        // Every hit parked behind the single in-flight computation.
+        assert_eq!(stats.dedups, 7);
+    }
+
+    #[test]
+    fn sequential_hits_are_not_dedups() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new();
+        cache.get_or_compute(1, || Ok::<_, ()>(1)).unwrap();
+        for _ in 0..3 {
+            cache.get_or_compute(1, || Ok::<_, ()>(1)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.dedups, 0, "no concurrent in-flight wait happened");
     }
 }

@@ -148,6 +148,13 @@ pub enum Event {
         /// Content-addressed chain key found in the journal.
         key: u64,
     },
+    /// End-of-run metrics snapshot: every counter, gauge, span, and
+    /// histogram the sweep recorded (DESIGN.md §11). Emitted exactly once,
+    /// after the last stage settles.
+    MetricsSnapshot {
+        /// The snapshot, taken after the worker pool drained.
+        snapshot: symclust_obs::MetricsSnapshot,
+    },
 }
 
 impl Event {
@@ -162,6 +169,7 @@ impl Event {
             Event::StageFailed { .. } => "stage_failed",
             Event::StageRetrying { .. } => "stage_retrying",
             Event::StageResumed { .. } => "stage_resumed",
+            Event::MetricsSnapshot { .. } => "metrics_snapshot",
         }
     }
 
@@ -250,6 +258,11 @@ impl Event {
                 obj.string("label", label);
                 obj.string("key", &format!("{key:016x}"));
             }
+            Event::MetricsSnapshot { snapshot } => {
+                // The snapshot's own JSON is a flat object with the stable
+                // §11 keys; embed it verbatim.
+                obj.raw("metrics", &snapshot.to_json());
+            }
         }
         obj.finish()
     }
@@ -298,6 +311,14 @@ impl Event {
             }
             Event::StageResumed { stage, label, .. } => {
                 format!("[{stage:>10}] {label} (resumed from journal)")
+            }
+            Event::MetricsSnapshot { snapshot } => {
+                format!(
+                    "[   metrics] {} counters, {} gauges, {} spans",
+                    snapshot.counters.len(),
+                    snapshot.gauges.len(),
+                    snapshot.spans.len()
+                )
             }
         }
     }
@@ -380,6 +401,20 @@ mod tests {
         assert!(j.contains("\"attempt\":1"), "{j}");
         assert!(j.contains("\"delay_ms\":50"), "{j}");
         assert!(e.render().contains("retrying (1/3)"));
+    }
+
+    #[test]
+    fn metrics_snapshot_event_embeds_flat_object() {
+        let m = symclust_obs::MetricsRegistry::new();
+        m.counter("spgemm.flops").add(42);
+        let e = Event::MetricsSnapshot {
+            snapshot: m.snapshot(),
+        };
+        assert_eq!(e.tag(), "metrics_snapshot");
+        let j = e.to_json();
+        assert!(j.starts_with("{\"event\":\"metrics_snapshot\""), "{j}");
+        assert!(j.contains("\"counter.spgemm.flops\":42"), "{j}");
+        assert!(e.render().contains("1 counters"));
     }
 
     #[test]

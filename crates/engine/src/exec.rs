@@ -51,7 +51,36 @@ use symclust_cluster::Clustering;
 use symclust_core::{SymmetrizeError, SymmetrizedGraph};
 use symclust_eval::avg_f_score;
 use symclust_graph::{DiGraph, GroundTruth, UnGraph};
+use symclust_obs::{MetricsRegistry, MetricsSnapshot};
 use symclust_sparse::{ops, CancelToken};
+
+/// Stable metric names the executor records (DESIGN.md §11). Kernel-level
+/// names (`spgemm.*`, `mcl.*`) live next to their kernels; these cover the
+/// engine and the prune stage, which the executor runs itself.
+pub mod metric_names {
+    /// Counter: cache requests served from a ready artifact (per sweep).
+    pub const CACHE_HITS: &str = "engine.cache_hits";
+    /// Counter: cache requests that ran the compute closure (per sweep).
+    pub const CACHE_MISSES: &str = "engine.cache_misses";
+    /// Counter: hits that parked behind another worker's in-flight
+    /// computation of the same key (duplicate work avoided).
+    pub const INFLIGHT_DEDUPS: &str = "engine.inflight_dedups";
+    /// Counter: stage attempts re-run after a transient failure.
+    pub const RETRIES: &str = "engine.retries";
+    /// Gauge: high-water mark of the dispatcher's ready queue.
+    pub const QUEUE_DEPTH_HWM: &str = "engine.queue_depth_hwm";
+    /// Counter: entries entering prune stages.
+    pub const PRUNE_EDGES_IN: &str = "prune.edges_in";
+    /// Counter: entries surviving prune stages.
+    pub const PRUNE_EDGES_OUT: &str = "prune.edges_out";
+    /// Gauge: survival ratio (`edges_out / edges_in`) of the most recent
+    /// prune computation.
+    pub const PRUNE_SURVIVAL_RATIO: &str = "prune.survival_ratio";
+    /// Counter: symmetrize stages whose artifact was computed in degraded
+    /// (budget-thresholded) mode. Cache hits of a degraded artifact do not
+    /// recount.
+    pub const SYM_DEGRADED_RUNS: &str = "sym.degraded_runs";
+}
 
 /// The input a pipeline runs over: a directed graph plus optional ground
 /// truth, under a dataset name used in records.
@@ -137,6 +166,11 @@ pub struct EngineOptions {
     /// are resumed instead of re-executed, and every chain completed by
     /// this run is appended.
     pub journal: Option<PathBuf>,
+    /// Metrics registry the sweep records into. `None` gives each sweep a
+    /// private registry (its snapshot still lands in
+    /// [`SweepResult::metrics`]); passing a shared registry accumulates
+    /// counters across sweeps, mirroring how the artifact cache persists.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl EngineOptions {
@@ -170,6 +204,10 @@ pub struct SweepResult {
     /// Cache hits/misses incurred by *this* sweep (delta, not engine
     /// lifetime totals).
     pub cache: CacheStats,
+    /// Metrics snapshot taken after the worker pool drained — the same
+    /// data emitted as the run's [`Event::MetricsSnapshot`]. Cumulative
+    /// when [`EngineOptions::metrics`] carries a shared registry.
+    pub metrics: MetricsSnapshot,
 }
 
 /// How a stage settled, as reported by a worker.
@@ -205,6 +243,7 @@ struct ExecCtx<'a> {
     sink: &'a (dyn Fn(Event) + Send + Sync),
     retry: RetryPolicy,
     memory_budget: Option<usize>,
+    metrics: &'a MetricsRegistry,
 }
 
 /// Per-stage cancellation tokens for nodes currently in flight, keyed by
@@ -296,6 +335,7 @@ impl Engine {
         let total = plan.len();
         let threads = self.opts.effective_threads();
         let stats_before = self.cache.stats();
+        let registry = self.opts.metrics.clone().unwrap_or_default();
 
         let ctx = ExecCtx {
             input,
@@ -304,6 +344,7 @@ impl Engine {
             sink,
             retry: self.opts.retry.clone(),
             memory_budget: self.opts.memory_budget,
+            metrics: &registry,
         };
 
         let mut indeg = plan.indegrees();
@@ -394,6 +435,8 @@ impl Engine {
             .filter(|&i| indeg[i] == 0 && !settled[i])
             .collect();
         let mut cancelled_broadcast = false;
+        let queue_gauge = registry.gauge(metric_names::QUEUE_DEPTH_HWM);
+        queue_gauge.record_max(ready.len() as f64);
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
@@ -492,6 +535,7 @@ impl Engine {
                                         ready.push_back(dep);
                                     }
                                 }
+                                queue_gauge.record_max(ready.len() as f64);
                             }
                             StageResult::Cancelled => {
                                 skipped += 1;
@@ -550,16 +594,32 @@ impl Engine {
         }
 
         let stats_after = self.cache.stats();
+        let cache_delta = CacheStats {
+            hits: stats_after.hits - stats_before.hits,
+            misses: stats_after.misses - stats_before.misses,
+            dedups: stats_after.dedups - stats_before.dedups,
+        };
+        registry
+            .counter(metric_names::CACHE_HITS)
+            .add(cache_delta.hits as u64);
+        registry
+            .counter(metric_names::CACHE_MISSES)
+            .add(cache_delta.misses as u64);
+        registry
+            .counter(metric_names::INFLIGHT_DEDUPS)
+            .add(cache_delta.dedups as u64);
+        let snapshot = registry.snapshot();
+        sink(Event::MetricsSnapshot {
+            snapshot: snapshot.clone(),
+        });
         SweepResult {
             records,
             cancelled: run_token.is_cancelled(),
             skipped,
             failures,
             resumed,
-            cache: CacheStats {
-                hits: stats_after.hits - stats_before.hits,
-                misses: stats_after.misses - stats_before.misses,
-            },
+            cache: cache_delta,
+            metrics: snapshot,
         }
     }
 }
@@ -706,6 +766,7 @@ fn run_stage(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -> StageR
                 error,
                 panic: false,
             }) if attempt < max_attempts && is_transient(&error) => {
+                ctx.metrics.counter(metric_names::RETRIES).inc();
                 let delay_ms = ctx.retry.delay_ms(node.id, attempt);
                 (ctx.sink)(Event::StageRetrying {
                     node: node.id,
@@ -732,6 +793,8 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
     if token.is_cancelled() {
         return StageResult::Cancelled;
     }
+    // RAII: every attempt (cache hits included) lands in `stage.<kind>`.
+    let _stage_span = ctx.metrics.span(&format!("stage.{}", node.kind.name()));
     let start = Instant::now();
     let finished = |output_items: usize| Event::StageFinished {
         node: node.id,
@@ -764,7 +827,12 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
             // injected panic also exercises the cache's in-flight guard.
             match ctx.cache.get_or_compute(key, || {
                 fire_fault(&fault).map_err(SymmetrizeError::InvalidConfig)?;
-                method.symmetrize_cancellable_with_budget(&ctx.input.graph, token, budget)
+                method.symmetrize_observed_with_budget(
+                    &ctx.input.graph,
+                    token,
+                    budget,
+                    Some(ctx.metrics),
+                )
             }) {
                 Ok((sym, hit)) => {
                     if hit {
@@ -775,6 +843,16 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
                             key,
                         });
                     } else {
+                        // Per-variant wall time and degraded fallbacks are
+                        // attributed to actual computations only — a cache
+                        // hit of a degraded artifact does not recount.
+                        ctx.metrics.observe_span_secs(
+                            &format!("sym.{}", node.label),
+                            start.elapsed().as_secs_f64(),
+                        );
+                        if sym.degraded() {
+                            ctx.metrics.counter(metric_names::SYM_DEGRADED_RUNS).inc();
+                        }
                         (ctx.sink)(finished(sym.n_edges()));
                     }
                     StageResult::Done(NodeOutput::Sym(sym))
@@ -797,7 +875,20 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
             let fault = fault_name(node);
             let compute = || -> Result<SymmetrizedGraph, String> {
                 fire_fault(&fault)?;
+                let edges_in = sym.adjacency().nnz();
                 let (pruned, _dropped) = ops::prune(sym.adjacency(), threshold);
+                let edges_out = pruned.nnz();
+                ctx.metrics
+                    .counter(metric_names::PRUNE_EDGES_IN)
+                    .add(edges_in as u64);
+                ctx.metrics
+                    .counter(metric_names::PRUNE_EDGES_OUT)
+                    .add(edges_out as u64);
+                if edges_in > 0 {
+                    ctx.metrics
+                        .gauge(metric_names::PRUNE_SURVIVAL_RATIO)
+                        .set(edges_out as f64 / edges_in as f64);
+                }
                 let mut un = UnGraph::from_symmetric_unchecked(pruned);
                 if let Some(labels) = sym.graph().labels() {
                     un = un.with_labels(labels.to_vec()).map_err(|e| e.to_string())?;
@@ -835,7 +926,7 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
                 return failed(e);
             }
             let clusterer = node.clusterer.expect("cluster node has a clusterer");
-            match clusterer.cluster_cancellable(sym.graph(), token) {
+            match clusterer.cluster_observed(sym.graph(), token, Some(ctx.metrics)) {
                 Ok(clustering) => {
                     let secs = start.elapsed().as_secs_f64();
                     (ctx.sink)(finished(clustering.n_clusters()));

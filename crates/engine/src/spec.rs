@@ -146,6 +146,20 @@ impl SymMethod {
             .symmetrize_cancellable(g, token)
     }
 
+    /// [`symmetrize_cancellable_with_budget`](Self::symmetrize_cancellable_with_budget)
+    /// that also records kernel counters (SpGEMM work, degraded fallbacks —
+    /// DESIGN.md §11) into `metrics`.
+    pub fn symmetrize_observed_with_budget(
+        &self,
+        g: &DiGraph,
+        token: &CancelToken,
+        nnz_budget: Option<usize>,
+        metrics: Option<&symclust_obs::MetricsRegistry>,
+    ) -> symclust_core::Result<SymmetrizedGraph> {
+        self.build_with_budget(nnz_budget)
+            .symmetrize_observed(g, token, metrics)
+    }
+
     /// Stable (stage name, parameter vector) encoding for content-addressed
     /// cache keys. Everything that affects the output must appear here.
     pub fn cache_params(&self) -> (&'static str, Vec<f64>) {
@@ -268,6 +282,18 @@ impl Clusterer {
         token: &CancelToken,
     ) -> symclust_cluster::Result<Clustering> {
         self.build().cluster_ungraph_cancellable(g, token)
+    }
+
+    /// [`cluster_cancellable`](Self::cluster_cancellable) that also records
+    /// algorithm counters (R-MCL iterations, convergence — DESIGN.md §11)
+    /// into `metrics`.
+    pub fn cluster_observed(
+        &self,
+        g: &UnGraph,
+        token: &CancelToken,
+        metrics: Option<&symclust_obs::MetricsRegistry>,
+    ) -> symclust_cluster::Result<Clustering> {
+        self.build().cluster_observed(g, token, metrics)
     }
 
     /// Stable (stage name, parameter vector) encoding, mirroring

@@ -204,9 +204,10 @@ fn pre_cancelled_token_skips_everything() {
     assert_eq!(result.skipped, 25); // 1 load + 8 × 3 stages
     assert_eq!(engine.cache_stats().misses, 0, "no work should have run");
     let events = events.into_inner().unwrap();
-    assert!(events
-        .iter()
-        .all(|e| matches!(e, Event::Cancelled { .. } | Event::Progress { .. })));
+    assert!(events.iter().all(|e| matches!(
+        e,
+        Event::Cancelled { .. } | Event::Progress { .. } | Event::MetricsSnapshot { .. }
+    )));
 }
 
 /// An already-expired per-stage deadline cancels every stage promptly but
@@ -430,4 +431,93 @@ fn memory_budget_degrades_similarity_methods_instead_of_aborting() {
         bib_exact.sym_edges >= bib.sym_edges,
         "degraded product must not be denser than the exact one"
     );
+}
+
+/// The end-of-run metrics snapshot covers every instrumented layer: SpGEMM
+/// work counters from the similarity kernels, R-MCL iteration counters,
+/// prune edge flow, per-stage spans, and engine-level cache counters.
+#[test]
+fn sweep_metrics_cover_kernels_stages_and_cache() {
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: SymMethod::lineup(0.0, 0.0),
+        clusterers: vec![
+            Clusterer::MlrMcl { inflation: 2.0 },
+            Clusterer::Metis { k: 10 },
+        ],
+        extra_prune: Some(0.5),
+    };
+    let engine = Engine::new(EngineOptions {
+        threads: 2,
+        ..Default::default()
+    });
+    let result = engine.run(&input, &spec, &|_| {});
+    assert_eq!(result.records.len(), 8);
+
+    let snap = &result.metrics;
+    // Kernel layer: Bibliometric + Degree-discounted each run two SpGEMMs.
+    assert!(snap.counter("spgemm.calls").unwrap_or(0) >= 4, "{snap:?}");
+    assert!(snap.counter("spgemm.flops").unwrap_or(0) > 0);
+    assert!(snap.counter("spgemm.nnz_final").unwrap_or(0) > 0);
+    // Cluster layer: MLR-MCL ran on each of the four symmetrizations.
+    assert_eq!(snap.counter("mcl.runs"), Some(4));
+    assert!(snap.counter("mcl.iterations").unwrap_or(0) >= 4);
+    // Prune layer: four prune stages, each conserving edges_out <= edges_in.
+    let edges_in = snap.counter("prune.edges_in").unwrap_or(0);
+    let edges_out = snap.counter("prune.edges_out").unwrap_or(0);
+    assert!(edges_in > 0 && edges_out <= edges_in);
+    let survival = snap.gauge("prune.survival_ratio").unwrap();
+    assert!((0.0..=1.0).contains(&survival));
+    // Engine layer: cache counters mirror the sweep's cache stats, and
+    // every stage kind got a span.
+    assert_eq!(
+        snap.counter("engine.cache_hits"),
+        Some(result.cache.hits as u64)
+    );
+    assert_eq!(
+        snap.counter("engine.cache_misses"),
+        Some(result.cache.misses as u64)
+    );
+    assert!(snap.gauge("engine.queue_depth_hwm").unwrap() >= 1.0);
+    for kind in ["load", "symmetrize", "prune", "cluster", "evaluate"] {
+        let span = snap
+            .span(&format!("stage.{kind}"))
+            .unwrap_or_else(|| panic!("missing span stage.{kind}"));
+        assert!(span.count > 0);
+    }
+    // Per-variant symmetrize spans: one computation per method.
+    assert_eq!(snap.span("sym.Bibliometric").unwrap().count, 1);
+}
+
+/// Sharing one registry across sweeps accumulates, while the default gives
+/// each sweep a fresh one.
+#[test]
+fn shared_registry_accumulates_across_sweeps() {
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: vec![SymMethod::PlusTranspose],
+        clusterers: vec![Clusterer::MlrMcl { inflation: 2.0 }],
+        extra_prune: None,
+    };
+    let registry = symclust_obs::MetricsRegistry::new();
+    let engine = Engine::new(EngineOptions {
+        threads: 1,
+        metrics: Some(registry.clone()),
+        ..Default::default()
+    });
+    let first = engine.run(&input, &spec, &|_| {});
+    let second = engine.run(&input, &spec, &|_| {});
+    assert_eq!(first.metrics.counter("mcl.runs"), Some(1));
+    assert_eq!(second.metrics.counter("mcl.runs"), Some(2), "cumulative");
+    assert_eq!(registry.snapshot().counter("mcl.runs"), Some(2));
+    // Second sweep's symmetrization was a cache hit; only the miss counted
+    // a per-variant span.
+    assert_eq!(second.metrics.span("sym.A+A'").unwrap().count, 1);
+
+    let fresh = Engine::new(EngineOptions {
+        threads: 1,
+        ..Default::default()
+    });
+    let r = fresh.run(&input, &spec, &|_| {});
+    assert_eq!(r.metrics.counter("mcl.runs"), Some(1), "private registry");
 }

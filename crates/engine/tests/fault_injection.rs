@@ -268,3 +268,74 @@ fn simulated_oom_degrades_bibliometric_spgemm() {
     );
     assert!(bib_exact.sym_edges >= bib.sym_edges);
 }
+
+/// Acceptance (observability): the run's metrics snapshot reconciles
+/// exactly with the structured event stream under fault injection — one
+/// `engine.retries` count per `stage_retrying` event, and cache hit/miss
+/// counters equal to both the sweep's cache stats and the `cache_hit`
+/// event count.
+#[test]
+fn metrics_counters_match_event_sequence_under_faults() {
+    let _gate = serialize();
+    faultpoint::reset();
+    faultpoint::arm(
+        "cluster:A+A' + Metis(k=10)",
+        FaultAction::Transient { failures: 2 },
+    );
+
+    let input = small_input();
+    let spec = PipelineSpec {
+        methods: vec![SymMethod::PlusTranspose, SymMethod::RandomWalk],
+        clusterers: vec![Clusterer::Metis { k: 10 }, Clusterer::Graclus { k: 10 }],
+        extra_prune: None,
+    };
+    let engine = Engine::new(EngineOptions {
+        threads: 2,
+        retry: fast_retry(),
+        ..Default::default()
+    });
+    let events: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+    let result = engine.run(&input, &spec, &|e| events.lock().unwrap().push(e));
+    faultpoint::reset();
+
+    assert!(result.failures.is_empty(), "{:?}", result.failures);
+    assert_eq!(
+        result.records.len(),
+        4,
+        "both faulted attempts must recover"
+    );
+    let events = events.into_inner().unwrap();
+    let retry_events = events
+        .iter()
+        .filter(|e| matches!(e, Event::StageRetrying { .. }))
+        .count();
+    assert_eq!(retry_events, 2, "armed fault fails exactly twice");
+    let hit_events = events
+        .iter()
+        .filter(|e| matches!(e, Event::CacheHit { .. }))
+        .count();
+
+    let snap = &result.metrics;
+    assert_eq!(snap.counter("engine.retries"), Some(retry_events as u64));
+    assert_eq!(
+        snap.counter("engine.cache_hits"),
+        Some(result.cache.hits as u64)
+    );
+    assert_eq!(
+        snap.counter("engine.cache_misses"),
+        Some(result.cache.misses as u64)
+    );
+    assert_eq!(result.cache.hits, hit_events, "every hit emits an event");
+    // 2 methods × 2 clusterers = 4 symmetrize stages over 2 distinct keys.
+    assert_eq!(result.cache.misses, 2);
+    assert_eq!(result.cache.hits, 2);
+    // The snapshot in the result and the one on the event stream agree.
+    let from_event = events
+        .iter()
+        .find_map(|e| match e {
+            Event::MetricsSnapshot { snapshot } => Some(snapshot),
+            _ => None,
+        })
+        .expect("run must end with a metrics snapshot");
+    assert_eq!(from_event, snap);
+}

@@ -45,8 +45,8 @@ pub use pagerank::{
     pagerank, pagerank_cancellable, stationary_distribution, PageRankOptions, PageRankResult,
 };
 pub use spgemm::{
-    spgemm, spgemm_budgeted, spgemm_cancellable, spgemm_nnz_upper_bound, spgemm_parallel,
-    spgemm_thresholded, BudgetedSpgemm, SpgemmOptions,
+    spgemm, spgemm_budgeted, spgemm_cancellable, spgemm_nnz_upper_bound, spgemm_observed,
+    spgemm_parallel, spgemm_thresholded, BudgetedSpgemm, SpgemmOptions,
 };
 
 /// Result alias used across the crate.

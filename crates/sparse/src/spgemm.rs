@@ -15,6 +15,61 @@ use crate::cancel::CancelToken;
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
 use crate::Result;
+use symclust_obs::MetricsRegistry;
+
+/// Stable metric names recorded by the SpGEMM kernels (DESIGN.md §11).
+pub mod metric_names {
+    /// Kernel invocations (one per top-level SpGEMM call).
+    pub const CALLS: &str = "spgemm.calls";
+    /// Output rows produced.
+    pub const ROWS: &str = "spgemm.rows";
+    /// Exact multiply-add count performed.
+    pub const FLOPS: &str = "spgemm.flops";
+    /// Distinct accumulator entries touched before thresholding
+    /// (intermediate nnz).
+    pub const NNZ_INTERMEDIATE: &str = "spgemm.nnz_intermediate";
+    /// Entries emitted into the output (final nnz).
+    pub const NNZ_FINAL: &str = "spgemm.nnz_final";
+    /// Accumulated entries not emitted (threshold, exact zero, or dropped
+    /// diagonal).
+    pub const THRESHOLD_DROPPED: &str = "spgemm.threshold_dropped";
+    /// Times the memory budget forced the degraded adaptive-threshold
+    /// path instead of an exact multiply.
+    pub const DEGRADED_FALLBACKS: &str = "spgemm.degraded_fallbacks";
+    /// Mid-run output compactions performed by the degraded path.
+    pub const BUDGET_COMPACTIONS: &str = "spgemm.budget_compactions";
+}
+
+/// Work counts accumulated in plain locals during a kernel run and
+/// flushed to the registry once per call — the atomics are never touched
+/// in the row loop.
+#[derive(Debug, Default, Clone, Copy)]
+struct SpgemmCounts {
+    rows: u64,
+    flops: u64,
+    touched: u64,
+    emitted: u64,
+}
+
+impl SpgemmCounts {
+    fn merge(&mut self, other: &SpgemmCounts) {
+        self.rows += other.rows;
+        self.flops += other.flops;
+        self.touched += other.touched;
+        self.emitted += other.emitted;
+    }
+
+    fn flush(&self, metrics: Option<&MetricsRegistry>) {
+        let Some(m) = metrics else { return };
+        m.counter(metric_names::CALLS).inc();
+        m.counter(metric_names::ROWS).add(self.rows);
+        m.counter(metric_names::FLOPS).add(self.flops);
+        m.counter(metric_names::NNZ_INTERMEDIATE).add(self.touched);
+        m.counter(metric_names::NNZ_FINAL).add(self.emitted);
+        m.counter(metric_names::THRESHOLD_DROPPED)
+            .add(self.touched - self.emitted);
+    }
+}
 
 /// Options controlling SpGEMM execution.
 #[derive(Debug, Clone, Copy)]
@@ -64,8 +119,11 @@ fn gustavson_row(
     opts: &SpgemmOptions,
     indices: &mut Vec<u32>,
     values: &mut Vec<f64>,
+    counts: &mut SpgemmCounts,
 ) {
+    let emitted_before = indices.len();
     for (k, av) in a.row_iter(row) {
+        counts.flops += b.row_nnz(k as usize) as u64;
         for (j, bv) in b.row_iter(k as usize) {
             let slot = &mut acc[j as usize];
             if *slot == 0.0 {
@@ -83,6 +141,9 @@ fn gustavson_row(
             values.push(v);
         }
     }
+    counts.rows += 1;
+    counts.touched += touched.len() as u64;
+    counts.emitted += (indices.len() - emitted_before) as u64;
     touched.clear();
 }
 
@@ -93,7 +154,7 @@ pub fn spgemm(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
 
 /// Serial Gustavson SpGEMM with on-the-fly pruning per [`SpgemmOptions`].
 pub fn spgemm_thresholded(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) -> Result<CsrMatrix> {
-    spgemm_serial_with_token(a, b, opts, None)
+    spgemm_serial_with_token(a, b, opts, None, None)
 }
 
 /// [`spgemm_thresholded`] that polls `token` between output rows and bails
@@ -104,10 +165,25 @@ pub fn spgemm_cancellable(
     opts: &SpgemmOptions,
     token: &CancelToken,
 ) -> Result<CsrMatrix> {
+    spgemm_observed(a, b, opts, Some(token), None)
+}
+
+/// The fully instrumented SpGEMM entry point: optional cancellation plus
+/// optional metrics. Dispatches to the parallel kernel unless
+/// `opts.n_threads == 1`. Work counts (rows, flops, intermediate/final
+/// nnz, threshold drops — see [`metric_names`]) are accumulated in locals
+/// and flushed to `metrics` once at the end of the call.
+pub fn spgemm_observed(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    opts: &SpgemmOptions,
+    token: Option<&CancelToken>,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<CsrMatrix> {
     if opts.n_threads != 1 {
-        spgemm_parallel_with_token(a, b, opts, Some(token))
+        spgemm_parallel_with_token(a, b, opts, token, metrics)
     } else {
-        spgemm_serial_with_token(a, b, opts, Some(token))
+        spgemm_serial_with_token(a, b, opts, token, metrics)
     }
 }
 
@@ -116,6 +192,7 @@ fn spgemm_serial_with_token(
     b: &CsrMatrix,
     opts: &SpgemmOptions,
     token: Option<&CancelToken>,
+    metrics: Option<&MetricsRegistry>,
 ) -> Result<CsrMatrix> {
     check_dims(a, b)?;
     let n_rows = a.n_rows();
@@ -126,6 +203,7 @@ fn spgemm_serial_with_token(
     indptr.push(0usize);
     let mut indices = Vec::new();
     let mut values = Vec::new();
+    let mut counts = SpgemmCounts::default();
     for row in 0..n_rows {
         if let Some(t) = token {
             t.checkpoint()?;
@@ -139,9 +217,11 @@ fn spgemm_serial_with_token(
             opts,
             &mut indices,
             &mut values,
+            &mut counts,
         );
         indptr.push(indices.len());
     }
+    counts.flush(metrics);
     Ok(CsrMatrix::from_raw_parts_unchecked(
         n_rows, n_cols, indptr, indices, values,
     ))
@@ -151,7 +231,7 @@ fn spgemm_serial_with_token(
 /// worker; each worker runs Gustavson with its own accumulator, and the
 /// chunks are stitched together afterwards.
 pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) -> Result<CsrMatrix> {
-    spgemm_parallel_with_token(a, b, opts, None)
+    spgemm_parallel_with_token(a, b, opts, None, None)
 }
 
 fn spgemm_parallel_with_token(
@@ -159,6 +239,7 @@ fn spgemm_parallel_with_token(
     b: &CsrMatrix,
     opts: &SpgemmOptions,
     token: Option<&CancelToken>,
+    metrics: Option<&MetricsRegistry>,
 ) -> Result<CsrMatrix> {
     check_dims(a, b)?;
     let n_rows = a.n_rows();
@@ -169,7 +250,7 @@ fn spgemm_parallel_with_token(
         opts.n_threads
     };
     if n_threads <= 1 || n_rows < 2 * n_threads {
-        return spgemm_serial_with_token(a, b, opts, token);
+        return spgemm_serial_with_token(a, b, opts, token, metrics);
     }
 
     // Balance chunks by FLOP estimate (sum over rows of Σ nnz(B[k,:])).
@@ -195,7 +276,7 @@ fn spgemm_parallel_with_token(
     bounds.push(n_rows);
 
     let n_chunks = bounds.len() - 1;
-    type ChunkResult = Result<(Vec<usize>, Vec<u32>, Vec<f64>)>;
+    type ChunkResult = Result<(Vec<usize>, Vec<u32>, Vec<f64>, SpgemmCounts)>;
     let mut results: Vec<Option<ChunkResult>> = (0..n_chunks).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_chunks);
@@ -208,6 +289,7 @@ fn spgemm_parallel_with_token(
                 let mut row_lens = Vec::with_capacity(hi - lo);
                 let mut indices = Vec::new();
                 let mut values = Vec::new();
+                let mut counts = SpgemmCounts::default();
                 for row in lo..hi {
                     if let Some(t) = token {
                         t.checkpoint()?;
@@ -222,10 +304,11 @@ fn spgemm_parallel_with_token(
                         &opts,
                         &mut indices,
                         &mut values,
+                        &mut counts,
                     );
                     row_lens.push(indices.len() - before);
                 }
-                Ok((row_lens, indices, values))
+                Ok((row_lens, indices, values, counts))
             }));
         }
         for (chunk, handle) in handles.into_iter().enumerate() {
@@ -240,16 +323,19 @@ fn spgemm_parallel_with_token(
     }
     let mut indptr = Vec::with_capacity(n_rows + 1);
     indptr.push(0usize);
-    let total_nnz: usize = chunks.iter().map(|(_, idx, _)| idx.len()).sum();
+    let total_nnz: usize = chunks.iter().map(|(_, idx, _, _)| idx.len()).sum();
     let mut indices = Vec::with_capacity(total_nnz);
     let mut values = Vec::with_capacity(total_nnz);
-    for (row_lens, idx, vals) in chunks {
+    let mut counts = SpgemmCounts::default();
+    for (row_lens, idx, vals, chunk_counts) in chunks {
         for len in row_lens {
             indptr.push(indptr.last().unwrap() + len);
         }
         indices.extend_from_slice(&idx);
         values.extend_from_slice(&vals);
+        counts.merge(&chunk_counts);
     }
+    counts.flush(metrics);
     Ok(CsrMatrix::from_raw_parts_unchecked(
         n_rows, n_cols, indptr, indices, values,
     ))
@@ -307,6 +393,7 @@ pub fn spgemm_budgeted(
     opts: &SpgemmOptions,
     budget_nnz: usize,
     token: Option<&CancelToken>,
+    metrics: Option<&MetricsRegistry>,
 ) -> Result<BudgetedSpgemm> {
     check_dims(a, b)?;
     if budget_nnz == 0 {
@@ -316,10 +403,10 @@ pub fn spgemm_budgeted(
     }
     let estimated_nnz = spgemm_nnz_upper_bound(a, b);
     if estimated_nnz <= budget_nnz {
-        let matrix = match token {
-            Some(t) => spgemm_cancellable(a, b, opts, t)?,
-            None if opts.n_threads != 1 => spgemm_parallel(a, b, opts)?,
-            None => spgemm_thresholded(a, b, opts)?,
+        let matrix = if opts.n_threads != 1 {
+            spgemm_parallel_with_token(a, b, opts, token, metrics)?
+        } else {
+            spgemm_serial_with_token(a, b, opts, token, metrics)?
         };
         return Ok(BudgetedSpgemm {
             matrix,
@@ -330,6 +417,10 @@ pub fn spgemm_budgeted(
     }
 
     // Degraded path: serial Gustavson with adaptive thresholding.
+    if let Some(m) = metrics {
+        m.counter(metric_names::DEGRADED_FALLBACKS).inc();
+    }
+    let mut compactions = 0u64;
     let n_rows = a.n_rows();
     let n_cols = b.n_cols();
     let mut acc = vec![0.0f64; n_cols];
@@ -339,6 +430,7 @@ pub fn spgemm_budgeted(
     let mut indices: Vec<u32> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
     let mut live_opts = *opts;
+    let mut counts = SpgemmCounts::default();
     for row in 0..n_rows {
         if let Some(t) = token {
             t.checkpoint()?;
@@ -352,6 +444,7 @@ pub fn spgemm_budgeted(
             &live_opts,
             &mut indices,
             &mut values,
+            &mut counts,
         );
         indptr.push(indices.len());
         if values.len() > budget_nnz {
@@ -365,7 +458,15 @@ pub fn spgemm_budgeted(
             mags.select_nth_unstable_by(kth, |x, y| y.total_cmp(x));
             live_opts.threshold = live_opts.threshold.max(mags[kth]);
             compact_thresholded(&mut indptr, &mut indices, &mut values, live_opts.threshold);
+            compactions += 1;
         }
+    }
+    // Compactions may have removed entries counted as emitted; the final
+    // output length is the true final nnz.
+    counts.emitted = indices.len() as u64;
+    counts.flush(metrics);
+    if let Some(m) = metrics {
+        m.counter(metric_names::BUDGET_COMPACTIONS).add(compactions);
     }
     Ok(BudgetedSpgemm {
         matrix: CsrMatrix::from_raw_parts_unchecked(n_rows, n_cols, indptr, indices, values),
@@ -579,7 +680,7 @@ mod tests {
             vec![0.0, 3.0, 4.0],
             vec![1.0, 0.0, 1.0],
         ]);
-        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 1_000_000, None).unwrap();
+        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 1_000_000, None, None).unwrap();
         assert!(!r.degraded);
         assert_eq!(r.threshold_used, 0.0);
         assert_eq!(r.matrix, spgemm(&a, &a).unwrap());
@@ -602,7 +703,7 @@ mod tests {
         }
         let a = CsrMatrix::from_dense(&rows);
         let budget = 64;
-        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), budget, None).unwrap();
+        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), budget, None, None).unwrap();
         assert!(r.degraded);
         assert!(r.threshold_used > 0.0);
         assert!(r.estimated_nnz > budget);
@@ -622,17 +723,111 @@ mod tests {
             assert!(v.abs() >= r.threshold_used);
         }
         // Degraded output is deterministic.
-        let again = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), budget, None).unwrap();
+        let again = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), budget, None, None).unwrap();
         assert_eq!(r.matrix, again.matrix);
+    }
+
+    #[test]
+    fn observed_records_exact_work_counters() {
+        let a = CsrMatrix::from_dense(&[vec![1.0, 1.0], vec![0.0, 1.0]]);
+        let m = MetricsRegistry::new();
+        let opts = SpgemmOptions {
+            n_threads: 1,
+            ..Default::default()
+        };
+        let c = spgemm_observed(&a, &a, &opts, None, Some(&m)).unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(metric_names::CALLS), Some(1));
+        assert_eq!(snap.counter(metric_names::ROWS), Some(2));
+        assert_eq!(
+            snap.counter(metric_names::FLOPS),
+            Some(spgemm_flops(&a, &a) as u64)
+        );
+        assert_eq!(snap.counter(metric_names::NNZ_FINAL), Some(c.nnz() as u64));
+        // No threshold, positive values: nothing dropped.
+        assert_eq!(snap.counter(metric_names::THRESHOLD_DROPPED), Some(0));
+        assert_eq!(
+            snap.counter(metric_names::NNZ_INTERMEDIATE),
+            Some(c.nnz() as u64)
+        );
+    }
+
+    #[test]
+    fn parallel_observed_counters_match_serial() {
+        let n = 64;
+        let mut rows = vec![vec![0.0; n]; n];
+        let mut state = 0x243F6A8885A308D3u64;
+        for r in rows.iter_mut() {
+            for v in r.iter_mut() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state >> 60 == 0 {
+                    *v = ((state >> 32) % 7 + 1) as f64;
+                }
+            }
+        }
+        let a = CsrMatrix::from_dense(&rows);
+        let serial = MetricsRegistry::new();
+        let serial_opts = SpgemmOptions {
+            n_threads: 1,
+            ..Default::default()
+        };
+        spgemm_observed(&a, &a, &serial_opts, None, Some(&serial)).unwrap();
+        let parallel = MetricsRegistry::new();
+        let parallel_opts = SpgemmOptions {
+            n_threads: 4,
+            ..Default::default()
+        };
+        spgemm_observed(&a, &a, &parallel_opts, None, Some(&parallel)).unwrap();
+        for key in [
+            metric_names::ROWS,
+            metric_names::FLOPS,
+            metric_names::NNZ_INTERMEDIATE,
+            metric_names::NNZ_FINAL,
+            metric_names::THRESHOLD_DROPPED,
+        ] {
+            assert_eq!(
+                serial.snapshot().counter(key),
+                parallel.snapshot().counter(key),
+                "{key} differs between serial and parallel"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_degraded_records_fallback_and_compactions() {
+        let n = 32;
+        let mut rows = vec![vec![0.0; n]; n];
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for r in rows.iter_mut() {
+            for v in r.iter_mut() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *v = ((state >> 56) % 5) as f64;
+            }
+        }
+        let a = CsrMatrix::from_dense(&rows);
+        let m = MetricsRegistry::new();
+        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 64, None, Some(&m)).unwrap();
+        assert!(r.degraded);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(metric_names::DEGRADED_FALLBACKS), Some(1));
+        assert!(snap.counter(metric_names::BUDGET_COMPACTIONS).unwrap() > 0);
+        assert_eq!(
+            snap.counter(metric_names::NNZ_FINAL),
+            Some(r.matrix.nnz() as u64)
+        );
     }
 
     #[test]
     fn budgeted_rejects_zero_budget_and_honors_cancellation() {
         let a = CsrMatrix::from_dense(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
-        assert!(spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 0, None).is_err());
+        assert!(spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 0, None, None).is_err());
         let token = crate::cancel::CancelToken::new();
         token.cancel();
-        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 1, Some(&token));
+        let r = spgemm_budgeted(&a, &a, &SpgemmOptions::default(), 1, Some(&token), None);
         assert_eq!(r.err(), Some(SparseError::Cancelled));
     }
 }

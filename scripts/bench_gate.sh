@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Bench regression smoke gate: run the full pipeline sweep on the bundled
+# example graph, emit BENCH_pipeline.json from its --metrics-out file, and
+# compare against the checked-in baseline. Fails on any deterministic
+# counter mismatch (nnz, flops, cache, MCL iterations) or a wall-clock
+# regression beyond BENCH_GATE_TOLERANCE (default 0.25 = 25%, with a small
+# absolute slack floor for sub-second runs — see crates/bench/src/gate.rs).
+#
+# To refresh the baseline after an intentional kernel change:
+#   ./scripts/bench_gate.sh || true
+#   cp target/bench_gate/BENCH_pipeline.json bench_results/baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BENCH_GATE_TOLERANCE:-0.25}"
+BASELINE="bench_results/baseline.json"
+OUT_DIR="target/bench_gate"
+mkdir -p "$OUT_DIR"
+
+cargo build --release -q -p symclust-cli -p symclust-bench
+
+./target/release/symclust pipeline \
+  --input examples/data/dsbm_small.txt \
+  --truth examples/data/dsbm_small.truth.txt \
+  --clusterers mlrmcl,metis --k 8 --prune 0.001 \
+  --quiet \
+  --metrics-out "$OUT_DIR/metrics.json"
+
+./target/release/bench_gate emit "$OUT_DIR/metrics.json" "$OUT_DIR/BENCH_pipeline.json"
+./target/release/bench_gate check "$BASELINE" "$OUT_DIR/BENCH_pipeline.json" "$TOLERANCE"

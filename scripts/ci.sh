@@ -1,28 +1,50 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the tier-1 build + test pass.
-# Run from the repository root: ./scripts/ci.sh
+# Local CI gate: formatting, lints, the tier-1 build + test pass, and the
+# bench regression smoke gate. Run from the repository root:
+#
+#   ./scripts/ci.sh              # every stage, in order
+#   ./scripts/ci.sh clippy test  # just the named stages
+#
+# `.github/workflows/ci.yml` invokes the same stages one job each, so the
+# stage list below is the single source of truth for what CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+ALL_STAGES=(fmt clippy build test fault debug-assertions bench)
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage_fmt() { cargo fmt --all -- --check; }
+stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
+stage_build() { cargo build --release; }
+# One workspace pass covers the tier-1 crates too; the old separate
+# `cargo test -q` stage was a strict subset of this one.
+stage_test() { cargo test -q --workspace; }
+stage_fault() { cargo test -q -p symclust-engine --features fault-injection; }
+stage_debug_assertions() {
+  RUSTFLAGS="${RUSTFLAGS:-} -C debug-assertions=on" \
+    cargo test -q --release -p symclust-engine
+}
+stage_bench() { ./scripts/bench_gate.sh; }
 
-echo "==> tier-1: cargo build --release"
-cargo build --release
+run_stage() {
+  local name="$1"
+  local fn="stage_${name//-/_}"
+  if ! declare -F "$fn" >/dev/null; then
+    echo "ci.sh: unknown stage '$name' (stages: ${ALL_STAGES[*]})" >&2
+    exit 2
+  fi
+  echo "==> $name"
+  local start=$SECONDS
+  "$fn"
+  echo "==> $name passed in $((SECONDS - start))s"
+}
 
-echo "==> tier-1: cargo test -q"
-cargo test -q
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+  stages=("${ALL_STAGES[@]}")
+fi
 
-echo "==> workspace tests: cargo test -q --workspace"
-cargo test -q --workspace
-
-echo "==> fault injection: cargo test -q -p symclust-engine --features fault-injection"
-cargo test -q -p symclust-engine --features fault-injection
-
-echo "==> debug assertions: cargo test -q -p symclust-engine (release + debug-assertions)"
-RUSTFLAGS="${RUSTFLAGS:-} -C debug-assertions=on" cargo test -q --release -p symclust-engine
-
-echo "CI gate passed."
+total_start=$SECONDS
+for stage in "${stages[@]}"; do
+  run_stage "$stage"
+done
+echo "CI gate passed in $((SECONDS - total_start))s (${stages[*]})."
