@@ -32,7 +32,7 @@ fn bench_methods(c: &mut Criterion) {
     group.bench_function("degree_discounted_parallel", |b| {
         let algo = DegreeDiscounted {
             options: DegreeDiscountedOptions {
-                parallel: true,
+                n_threads: 0,
                 ..Default::default()
             },
         };
@@ -41,7 +41,7 @@ fn bench_methods(c: &mut Criterion) {
     group.bench_function("bibliometric_parallel", |b| {
         let algo = Bibliometric {
             options: BibliometricOptions {
-                parallel: true,
+                n_threads: 0,
                 ..Default::default()
             },
         };

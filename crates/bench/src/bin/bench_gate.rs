@@ -1,16 +1,25 @@
 //! Bench regression gate CLI.
 //!
 //! ```text
-//! bench_gate emit  <metrics.json>  <BENCH_pipeline.json>
-//! bench_gate check <baseline.json> <current.json> [wall-tolerance]
+//! bench_gate emit       <metrics.json>  <BENCH_pipeline.json>
+//! bench_gate check      <baseline.json> <current.json> [wall-tolerance]
+//! bench_gate syrk-check <graph.txt>
 //! ```
 //!
 //! `emit` converts a `symclust pipeline --metrics-out` file into the
 //! stable BENCH schema; `check` compares two BENCH files and exits
 //! non-zero on any deterministic-counter mismatch or a wall-clock
-//! regression beyond the tolerance (default 0.25 = 25%).
+//! regression beyond the tolerance (default 0.25 = 25%). `syrk-check`
+//! runs the Bibliometric product `AAᵀ + AᵀA` on a bundled edge list
+//! through both the general kernel and the fused symmetric (SYRK)
+//! kernel and fails unless the SYRK flop count is strictly below the
+//! general one while the outputs stay bit-identical — the CI lock on
+//! the symmetric kernel's speedup.
 
 use symclust_bench::gate;
+use symclust_obs::MetricsRegistry;
+use symclust_sparse::spgemm::metric_names;
+use symclust_sparse::{ops, spgemm_observed, spgemm_syrk_sum_observed, SpgemmOptions, SyrkTerm};
 
 fn main() {
     std::process::exit(match run() {
@@ -67,6 +76,67 @@ fn run() -> Result<(), String> {
                 Err(format!("{} violation(s)", violations.len()))
             }
         }
-        _ => Err("usage: bench_gate emit|check ... (see --help in source)".into()),
+        Some("syrk-check") => {
+            let [_, graph_path] = args.as_slice() else {
+                return Err("usage: bench_gate syrk-check <graph.txt>".into());
+            };
+            syrk_check(graph_path)
+        }
+        _ => Err("usage: bench_gate emit|check|syrk-check ... (see --help in source)".into()),
     }
+}
+
+/// Computes `AAᵀ + AᵀA` (with the Bibliometric `+I` step) both ways and
+/// asserts the SYRK path does strictly less multiply-add work for the
+/// identical output.
+fn syrk_check(graph_path: &str) -> Result<(), String> {
+    let g = symclust_graph::io::read_edge_list_file(graph_path)
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let a = ops::add_diagonal(g.adjacency(), 1.0).map_err(|e| e.to_string())?;
+    let at = ops::transpose(&a);
+    let opts = SpgemmOptions {
+        drop_diagonal: true,
+        n_threads: 1,
+        ..Default::default()
+    };
+
+    let general_metrics = MetricsRegistry::new();
+    let coupling =
+        spgemm_observed(&a, &at, &opts, None, Some(&general_metrics)).map_err(|e| e.to_string())?;
+    let cocitation =
+        spgemm_observed(&at, &a, &opts, None, Some(&general_metrics)).map_err(|e| e.to_string())?;
+    let general = ops::add(&coupling, &cocitation).map_err(|e| e.to_string())?;
+
+    let syrk_metrics = MetricsRegistry::new();
+    let fused = spgemm_syrk_sum_observed(
+        &[SyrkTerm { x: &a, xt: &at }, SyrkTerm { x: &at, xt: &a }],
+        &opts,
+        None,
+        Some(&syrk_metrics),
+    )
+    .map_err(|e| e.to_string())?;
+
+    if general != fused {
+        return Err("SYRK output differs from the general kernel's".into());
+    }
+    let gflops = general_metrics
+        .snapshot()
+        .counter(metric_names::FLOPS)
+        .unwrap_or(0);
+    let sflops = syrk_metrics
+        .snapshot()
+        .counter(metric_names::FLOPS)
+        .unwrap_or(0);
+    if sflops >= gflops {
+        return Err(format!(
+            "SYRK flops {sflops} not strictly below general-kernel flops {gflops}"
+        ));
+    }
+    println!(
+        "syrk gate OK: {graph_path}: flops {sflops} vs general {gflops} \
+         ({:.1}% saved), output identical ({} nnz)",
+        100.0 * (gflops - sflops) as f64 / gflops as f64,
+        fused.nnz()
+    );
+    Ok(())
 }

@@ -31,7 +31,12 @@ pub const EXACT_KEYS: &[&str] = &[
     "counter.engine.cache_misses",
     "counter.mcl.runs",
     "counter.mcl.iterations",
+    "counter.spgemm.syrk_calls",
+    "counter.spgemm.syrk_mirrored_nnz",
 ];
+// NOT gated: `counter.spgemm.sched_steals` — the work-stealing scheduler's
+// steal count depends on thread count and machine load, so it is exactly
+// the kind of scheduling-dependent metric the module docs exclude.
 
 /// Wall-clock slack floor in seconds: below this, a "25% regression" is
 /// scheduler noise, not a finding. The gate allows

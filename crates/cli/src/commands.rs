@@ -319,6 +319,7 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
             ..Default::default()
         },
         memory_budget: args.get::<usize>("memory-budget")?,
+        spgemm_threads: args.get::<usize>("sym-threads")?,
         journal: args.optional("resume").map(std::path::PathBuf::from),
         metrics: None,
     };
@@ -359,6 +360,13 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
             .metrics
             .counter("spgemm.degraded_fallbacks")
             .unwrap_or(0);
+        let steals = result.metrics.counter("spgemm.sched_steals");
+        if let Some(steals) = steals {
+            println!(
+                "(work-stealing scheduler: {steals} row block(s) stolen across parallel \
+                 SpGEMM calls; 0 means the static split was already balanced)"
+            );
+        }
         if fallbacks > 0 {
             println!(
                 "warning: {fallbacks} SpGEMM product(s) exceeded the memory \
@@ -627,10 +635,14 @@ mod tests {
                 .as_f64()
                 .unwrap()
         };
-        // SpGEMM work counters from the similarity symmetrizations.
+        // SpGEMM work counters from the similarity symmetrizations:
+        // bibliometric + degree-discounted are one fused two-term SYRK
+        // product each (DESIGN.md §12).
         assert!(num("counter.spgemm.flops") > 0.0);
         assert!(num("counter.spgemm.nnz_final") > 0.0);
-        assert!(num("counter.spgemm.calls") >= 4.0);
+        assert!(num("counter.spgemm.calls") >= 2.0);
+        assert_eq!(num("counter.spgemm.syrk_calls"), 2.0);
+        assert!(num("counter.spgemm.syrk_mirrored_nnz") > 0.0);
         // Engine cache counters: 4 methods × 2 clusterers, each
         // symmetrization computed once.
         assert_eq!(num("counter.engine.cache_misses"), 4.0);

@@ -17,20 +17,26 @@ use crate::{Result, SymmetrizedGraph, Symmetrizer};
 use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
 use symclust_obs::MetricsRegistry;
-use symclust_sparse::{ops, spgemm_budgeted, spgemm_observed, CancelToken, SpgemmOptions};
+use symclust_sparse::{
+    ops, spgemm_syrk_sum_budgeted, spgemm_syrk_sum_observed, threads_from_env, CancelToken,
+    SpgemmOptions, SyrkTerm,
+};
 
 /// Options for [`Bibliometric`].
 #[derive(Debug, Clone, Copy)]
 pub struct BibliometricOptions {
     /// Apply `A := A + I` before multiplying (paper §3.3). Default true.
     pub add_identity: bool,
-    /// Prune threshold applied to each product and to the final sum
-    /// (Table 2 uses e.g. 25 for Wikipedia, 0 for Cora). Default 0.
+    /// Prune threshold applied to the fused sum `AAᵀ + AᵀA` during the
+    /// multiply (Table 2 uses e.g. 25 for Wikipedia, 0 for Cora).
+    /// Default 0.
     pub threshold: f64,
-    /// Use the crossbeam-parallel SpGEMM. Default false (deterministic
-    /// single-thread timing).
-    pub parallel: bool,
-    /// Memory budget as a cap on the stored nnz of each SpGEMM product.
+    /// SpGEMM worker threads: `1` runs serially, `0` uses all available
+    /// cores, `n` uses exactly `n`. The default honors the
+    /// `SYMCLUST_THREADS` environment variable and falls back to serial.
+    /// Output is bit-identical for every setting.
+    pub n_threads: usize,
+    /// Memory budget as a cap on the stored nnz of the similarity matrix.
     /// When the Gustavson upper bound exceeds it, the product degrades to
     /// an adaptively thresholded multiply instead of aborting; the result
     /// is flagged [`SymmetrizedGraph::degraded`]. Default `None` (exact).
@@ -42,7 +48,7 @@ impl Default for BibliometricOptions {
         BibliometricOptions {
             add_identity: true,
             threshold: 0.0,
-            parallel: false,
+            n_threads: threads_from_env().unwrap_or(1),
             nnz_budget: None,
         }
     }
@@ -66,26 +72,6 @@ impl Bibliometric {
         }
     }
 
-    fn multiply(
-        &self,
-        a: &symclust_sparse::CsrMatrix,
-        b: &symclust_sparse::CsrMatrix,
-        token: Option<&CancelToken>,
-        metrics: Option<&MetricsRegistry>,
-    ) -> Result<(symclust_sparse::CsrMatrix, bool)> {
-        let opts = SpgemmOptions {
-            threshold: self.options.threshold,
-            drop_diagonal: true,
-            n_threads: if self.options.parallel { 0 } else { 1 },
-        };
-        if let Some(budget) = self.options.nnz_budget {
-            let r = spgemm_budgeted(a, b, &opts, budget, token, metrics)?;
-            return Ok((r.matrix, r.degraded));
-        }
-        let m = spgemm_observed(a, b, &opts, token, metrics)?;
-        Ok((m, false))
-    }
-
     fn symmetrize_with(
         &self,
         g: &DiGraph,
@@ -100,19 +86,35 @@ impl Bibliometric {
             a_base.clone()
         };
         let at = ops::transpose(&a);
-        let (coupling, coupling_degraded) = self.multiply(&a, &at, token, metrics)?; // AAᵀ
-        let (cocitation, cocitation_degraded) = self.multiply(&at, &a, token, metrics)?; // AᵀA
-        let mut u = ops::add(&coupling, &cocitation)?;
-        if self.options.threshold > 0.0 {
-            u = ops::prune(&u, self.options.threshold).0;
-        }
+        // One fused symmetric multiply: AAᵀ = A·(A)ᵀ and AᵀA = Aᵀ·(Aᵀ)ᵀ
+        // are both X·Xᵀ terms, accumulated upper-triangle-only in a single
+        // pass with the sum thresholded during emission and mirrored —
+        // neither full product is ever materialized.
+        let opts = SpgemmOptions {
+            threshold: self.options.threshold,
+            drop_diagonal: true,
+            n_threads: self.options.n_threads,
+        };
+        let terms = [
+            SyrkTerm { x: &a, xt: &at }, // AAᵀ (coupling)
+            SyrkTerm { x: &at, xt: &a }, // AᵀA (co-citation)
+        ];
+        let (u, degraded) = if let Some(budget) = self.options.nnz_budget {
+            let r = spgemm_syrk_sum_budgeted(&terms, &opts, budget, token, metrics)?;
+            (r.matrix, r.degraded)
+        } else {
+            (
+                spgemm_syrk_sum_observed(&terms, &opts, token, metrics)?,
+                false,
+            )
+        };
         let mut un = UnGraph::from_symmetric_unchecked(u);
         if let Some(labels) = g.labels() {
             un = un.with_labels(labels.to_vec())?;
         }
         Ok(
             SymmetrizedGraph::new(un, self.name(), self.options.threshold, start.elapsed())
-                .with_degraded(coupling_degraded || cocitation_degraded),
+                .with_degraded(degraded),
         )
     }
 }
@@ -246,7 +248,7 @@ mod tests {
         let serial = Bibliometric::default().symmetrize(&g).unwrap();
         let parallel = Bibliometric {
             options: BibliometricOptions {
-                parallel: true,
+                n_threads: 0,
                 ..Default::default()
             },
         }

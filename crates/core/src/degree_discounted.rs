@@ -19,15 +19,19 @@
 //!
 //! Both products are computed factored: `Bd = X·Xᵀ` with
 //! `X = Do⁻ᵅ A Di^{-β/2}`, so the discounts are applied in O(nnz) and the
-//! expensive SpGEMM runs once per term with on-the-fly thresholding —
-//! the full dense-ish similarity matrix is never materialized (§3.5).
+//! expensive multiply runs through the fused symmetric kernel
+//! ([`symclust_sparse::spgemm_syrk_sum_observed`]): both `X·Xᵀ` terms are
+//! accumulated upper-triangle-only in a single pass, thresholded on the
+//! fly, and mirrored — the full dense-ish similarity matrix (and both
+//! intermediate products) are never materialized (§3.5).
 
 use crate::{Result, SymmetrizeError, SymmetrizedGraph, Symmetrizer};
 use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
 use symclust_obs::MetricsRegistry;
 use symclust_sparse::{
-    ops, spgemm_budgeted, spgemm_observed, CancelToken, CsrMatrix, SpgemmOptions,
+    ops, spgemm_syrk_sum_budgeted, spgemm_syrk_sum_observed, threads_from_env, CancelToken,
+    CsrMatrix, SpgemmOptions, SyrkTerm,
 };
 
 /// How a node's degree discounts its similarity contributions (Table 4 rows).
@@ -42,9 +46,17 @@ pub enum DiscountExponent {
 
 impl DiscountExponent {
     /// The multiplicative discount factor for a node of degree `d`.
-    /// Zero-degree nodes return 0: they contribute nothing anyway, and this
-    /// keeps `0^(-p)` from producing infinities.
+    ///
+    /// `Power(0.0)` is the Table 4 `p = 0` row — no discounting at all —
+    /// so it returns `d⁰ = 1` for *every* degree, including zero.
+    /// Other exponents return 0 for zero-degree nodes: they contribute
+    /// nothing anyway, and this keeps `0^(-p)` from producing infinities.
     pub fn factor(&self, d: f64) -> f64 {
+        if let DiscountExponent::Power(p) = *self {
+            if p == 0.0 {
+                return 1.0;
+            }
+        }
         if d <= 0.0 {
             return 0.0;
         }
@@ -77,9 +89,12 @@ pub struct DegreeDiscountedOptions {
     /// Apply `A := A + I` first (off by default; the paper describes the
     /// `+I` trick for Bibliometric).
     pub add_identity: bool,
-    /// Use the crossbeam-parallel SpGEMM.
-    pub parallel: bool,
-    /// Memory budget as a cap on the stored nnz of each SpGEMM product.
+    /// SpGEMM worker threads: `1` runs serially, `0` uses all available
+    /// cores, `n` uses exactly `n`. The default honors the
+    /// `SYMCLUST_THREADS` environment variable and falls back to serial.
+    /// Output is bit-identical for every setting.
+    pub n_threads: usize,
+    /// Memory budget as a cap on the stored nnz of the similarity matrix.
     /// When the Gustavson upper bound exceeds it, the product degrades to
     /// an adaptively thresholded multiply instead of aborting; the result
     /// is flagged [`SymmetrizedGraph::degraded`]. Default `None` (exact).
@@ -93,7 +108,7 @@ impl Default for DegreeDiscountedOptions {
             beta: DiscountExponent::Power(0.5),
             threshold: 0.0,
             add_identity: false,
-            parallel: false,
+            n_threads: threads_from_env().unwrap_or(1),
             nnz_budget: None,
         }
     }
@@ -216,15 +231,15 @@ impl SimilarityFactors {
 
     /// Computes the full similarity matrix with on-the-fly thresholding.
     ///
-    /// Each product term is thresholded at `threshold / 2` during SpGEMM —
-    /// sound, since an entry whose coupling *and* co-citation components are
-    /// both below half the threshold cannot reach it in the sum — and the
-    /// sum is then pruned at `threshold` exactly. (Entries with true sum in
-    /// `[t, 1.5t)` may be lost when one component alone stays below `t/2`;
-    /// this is the same flavor of approximation the paper accepts by pruning
-    /// during the similarity computation, §3.5/§3.6.)
-    pub fn full(&self, threshold: f64, parallel: bool) -> Result<CsrMatrix> {
-        self.full_with(threshold, parallel, None, None, None)
+    /// Both `X·Xᵀ` terms run through the fused symmetric kernel in a
+    /// single upper-triangle pass: the *sum* `Bd + Cd` is formed in the
+    /// accumulators and thresholded at exactly `threshold` during
+    /// emission, then mirrored. (The earlier two-product implementation
+    /// thresholded each term at `threshold / 2` before adding, which
+    /// could lose entries with true sum in `[t, 1.5t)`; fusing removes
+    /// that approximation along with both intermediate matrices.)
+    pub fn full(&self, threshold: f64, n_threads: usize) -> Result<CsrMatrix> {
+        self.full_with(threshold, n_threads, None, None, None)
             .map(|r| r.0)
     }
 
@@ -232,45 +247,46 @@ impl SimilarityFactors {
     pub fn full_cancellable(
         &self,
         threshold: f64,
-        parallel: bool,
+        n_threads: usize,
         token: &CancelToken,
     ) -> Result<CsrMatrix> {
-        self.full_with(threshold, parallel, Some(token), None, None)
+        self.full_with(threshold, n_threads, Some(token), None, None)
             .map(|r| r.0)
     }
 
-    /// Computes the full matrix like [`full`](Self::full) but caps each
-    /// product term at `nnz_budget` stored entries, degrading to an
+    /// Computes the full matrix like [`full`](Self::full) but caps the
+    /// similarity matrix at `nnz_budget` stored entries, degrading to an
     /// adaptively thresholded multiply when the Gustavson upper bound
     /// exceeds it. Returns the matrix and whether degradation occurred.
     fn full_with(
         &self,
         threshold: f64,
-        parallel: bool,
+        n_threads: usize,
         token: Option<&CancelToken>,
         nnz_budget: Option<usize>,
         metrics: Option<&MetricsRegistry>,
     ) -> Result<(CsrMatrix, bool)> {
         let opts = SpgemmOptions {
-            threshold: threshold / 2.0,
+            threshold,
             drop_diagonal: true,
-            n_threads: if parallel { 0 } else { 1 },
+            n_threads,
         };
-        let multiply = |a: &CsrMatrix, b: &CsrMatrix| -> Result<(CsrMatrix, bool)> {
-            if let Some(budget) = nnz_budget {
-                let r = spgemm_budgeted(a, b, &opts, budget, token, metrics)?;
-                return Ok((r.matrix, r.degraded));
-            }
-            let m = spgemm_observed(a, b, &opts, token, metrics)?;
-            Ok((m, false))
-        };
-        let (bd, bd_degraded) = multiply(&self.x, &self.xt)?;
-        let (cd, cd_degraded) = multiply(&self.y, &self.yt)?;
-        let mut u = ops::add(&bd, &cd)?;
-        if threshold > 0.0 {
-            u = ops::prune(&u, threshold).0;
+        let terms = [
+            SyrkTerm {
+                x: &self.x,
+                xt: &self.xt,
+            },
+            SyrkTerm {
+                x: &self.y,
+                xt: &self.yt,
+            },
+        ];
+        if let Some(budget) = nnz_budget {
+            let r = spgemm_syrk_sum_budgeted(&terms, &opts, budget, token, metrics)?;
+            return Ok((r.matrix, r.degraded));
         }
-        Ok((u, bd_degraded || cd_degraded))
+        let u = spgemm_syrk_sum_observed(&terms, &opts, token, metrics)?;
+        Ok((u, false))
     }
 }
 
@@ -299,7 +315,7 @@ impl DegreeDiscounted {
         let factors = SimilarityFactors::build(g, &self.options)?;
         let (u, degraded) = factors.full_with(
             self.options.threshold,
-            self.options.parallel,
+            self.options.n_threads,
             token,
             self.options.nnz_budget,
             metrics,
@@ -439,11 +455,42 @@ mod tests {
     }
 
     #[test]
+    fn power_zero_is_a_noop_discount_even_for_zero_degree() {
+        // Table 4's p = 0 row: no discounting, d⁰ = 1 for every degree.
+        assert_eq!(DiscountExponent::Power(0.0).factor(0.0), 1.0);
+        assert_eq!(DiscountExponent::Power(0.0).factor(1.0), 1.0);
+        assert_eq!(DiscountExponent::Power(0.0).factor(1000.0), 1.0);
+    }
+
+    #[test]
+    fn power_zero_recovers_bibliometric_with_isolated_nodes() {
+        // Regression for the Table 4 p = 0 row: a graph with an isolated
+        // node (degree 0 both ways) and a sink (out-degree 0). With
+        // p = 0 the discount must be a strict no-op, so the similarity
+        // equals plain Bibliometric.
+        let g = DiGraph::from_edges(5, &[(0, 2), (1, 2), (0, 3)]).unwrap(); // node 4 isolated
+        let dd = DegreeDiscounted::with_exponents(0.0, 0.0)
+            .symmetrize(&g)
+            .unwrap();
+        let bib = crate::Bibliometric {
+            options: crate::BibliometricOptions {
+                add_identity: false,
+                ..Default::default()
+            },
+        }
+        .symmetrize(&g)
+        .unwrap();
+        assert_eq!(dd.adjacency(), bib.adjacency());
+        // Shared out-link (0,1): one common target, undiscounted weight 1.
+        assert_eq!(dd.adjacency().get(0, 1), 1.0);
+    }
+
+    #[test]
     fn factor_rows_match_full_matrix() {
         let g = figure1_graph();
         let opts = DegreeDiscountedOptions::default();
         let factors = SimilarityFactors::build(&g, &opts).unwrap();
-        let full = factors.full(0.0, false).unwrap();
+        let full = factors.full(0.0, 1).unwrap();
         for i in 0..g.n_nodes() {
             let row = factors.row(i);
             assert_eq!(row.len(), full.row_nnz(i), "row {i} length");
@@ -478,7 +525,7 @@ mod tests {
         let serial = DegreeDiscounted::default().symmetrize(&g).unwrap();
         let parallel = DegreeDiscounted {
             options: DegreeDiscountedOptions {
-                parallel: true,
+                n_threads: 0,
                 ..Default::default()
             },
         }

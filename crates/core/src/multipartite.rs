@@ -22,7 +22,7 @@
 use crate::degree_discounted::DiscountExponent;
 use crate::{Result, SymmetrizeError};
 use symclust_graph::UnGraph;
-use symclust_sparse::{ops, spgemm_thresholded, CsrMatrix, SpgemmOptions};
+use symclust_sparse::{ops, spgemm_syrk_observed, CsrMatrix, SpgemmOptions};
 
 /// A chain of biadjacency matrices: `links[i]` relates layer `i` (rows) to
 /// layer `i+1` (columns).
@@ -130,7 +130,7 @@ pub fn chain_degree_discounted(chain: &MultipartiteChain, opts: &ChainOptions) -
     ops::scale_cols(&mut x, &sqrt_factor).map_err(SymmetrizeError::Sparse)?;
 
     let xt = ops::transpose(&x);
-    let s = spgemm_thresholded(
+    let s = spgemm_syrk_observed(
         &x,
         &xt,
         &SpgemmOptions {
@@ -138,6 +138,8 @@ pub fn chain_degree_discounted(chain: &MultipartiteChain, opts: &ChainOptions) -
             drop_diagonal: true,
             n_threads: 0,
         },
+        None,
+        None,
     )
     .map_err(SymmetrizeError::Sparse)?;
     Ok(UnGraph::from_symmetric_unchecked(s))

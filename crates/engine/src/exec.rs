@@ -162,6 +162,12 @@ pub struct EngineOptions {
     /// computed in degraded (adaptively-thresholded) mode instead of
     /// aborting; the resulting records carry `degraded: true`.
     pub memory_budget: Option<usize>,
+    /// SpGEMM worker threads for the similarity symmetrizations (`0` =
+    /// all cores, `1` = serial). `None` keeps the symmetrizer defaults,
+    /// which honor `SYMCLUST_THREADS`. The kernels assemble output
+    /// deterministically, so this knob never changes results — it is
+    /// excluded from cache keys on purpose.
+    pub spgemm_threads: Option<usize>,
     /// Path of the durable run journal. When set, chains recorded there
     /// are resumed instead of re-executed, and every chain completed by
     /// this run is appended.
@@ -243,6 +249,7 @@ struct ExecCtx<'a> {
     sink: &'a (dyn Fn(Event) + Send + Sync),
     retry: RetryPolicy,
     memory_budget: Option<usize>,
+    spgemm_threads: Option<usize>,
     metrics: &'a MetricsRegistry,
 }
 
@@ -344,6 +351,7 @@ impl Engine {
             sink,
             retry: self.opts.retry.clone(),
             memory_budget: self.opts.memory_budget,
+            spgemm_threads: self.opts.spgemm_threads,
             metrics: &registry,
         };
 
@@ -827,10 +835,11 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
             // injected panic also exercises the cache's in-flight guard.
             match ctx.cache.get_or_compute(key, || {
                 fire_fault(&fault).map_err(SymmetrizeError::InvalidConfig)?;
-                method.symmetrize_observed_with_budget(
+                method.symmetrize_observed_configured(
                     &ctx.input.graph,
                     token,
                     budget,
+                    ctx.spgemm_threads,
                     Some(ctx.metrics),
                 )
             }) {

@@ -81,29 +81,51 @@ impl SymMethod {
         &self,
         nnz_budget: Option<usize>,
     ) -> Box<dyn Symmetrizer + Send + Sync> {
+        self.build_configured(nnz_budget, None)
+    }
+
+    /// Builds the configured symmetrizer under an optional SpGEMM output
+    /// budget and an optional thread-count override for the similarity
+    /// kernels. `None` keeps the option defaults (which honor
+    /// `SYMCLUST_THREADS`). The thread count never changes the output —
+    /// the parallel kernels assemble blocks deterministically — so it is
+    /// deliberately *not* part of [`cache_params`](Self::cache_params).
+    pub fn build_configured(
+        &self,
+        nnz_budget: Option<usize>,
+        spgemm_threads: Option<usize>,
+    ) -> Box<dyn Symmetrizer + Send + Sync> {
         match *self {
             SymMethod::PlusTranspose => Box::new(PlusTranspose),
             SymMethod::RandomWalk => Box::new(RandomWalk::default()),
-            SymMethod::Bibliometric { threshold } => Box::new(Bibliometric {
-                options: BibliometricOptions {
+            SymMethod::Bibliometric { threshold } => {
+                let mut options = BibliometricOptions {
                     threshold,
                     nnz_budget,
                     ..Default::default()
-                },
-            }),
+                };
+                if let Some(t) = spgemm_threads {
+                    options.n_threads = t;
+                }
+                Box::new(Bibliometric { options })
+            }
             SymMethod::DegreeDiscounted {
                 alpha,
                 beta,
                 threshold,
-            } => Box::new(DegreeDiscounted {
-                options: DegreeDiscountedOptions {
+            } => {
+                let mut options = DegreeDiscountedOptions {
                     alpha: DiscountExponent::Power(alpha),
                     beta: DiscountExponent::Power(beta),
                     threshold,
                     nnz_budget,
                     ..Default::default()
-                },
-            }),
+                };
+                if let Some(t) = spgemm_threads {
+                    options.n_threads = t;
+                }
+                Box::new(DegreeDiscounted { options })
+            }
         }
     }
 
@@ -156,7 +178,22 @@ impl SymMethod {
         nnz_budget: Option<usize>,
         metrics: Option<&symclust_obs::MetricsRegistry>,
     ) -> symclust_core::Result<SymmetrizedGraph> {
-        self.build_with_budget(nnz_budget)
+        self.symmetrize_observed_configured(g, token, nnz_budget, None, metrics)
+    }
+
+    /// [`symmetrize_observed_with_budget`](Self::symmetrize_observed_with_budget)
+    /// with an explicit SpGEMM thread-count override (the engine threads
+    /// the pipeline's `--sym-threads` knob through here). Thread count
+    /// does not affect the output, only wall time.
+    pub fn symmetrize_observed_configured(
+        &self,
+        g: &DiGraph,
+        token: &CancelToken,
+        nnz_budget: Option<usize>,
+        spgemm_threads: Option<usize>,
+        metrics: Option<&symclust_obs::MetricsRegistry>,
+    ) -> symclust_core::Result<SymmetrizedGraph> {
+        self.build_configured(nnz_budget, spgemm_threads)
             .symmetrize_observed(g, token, metrics)
     }
 

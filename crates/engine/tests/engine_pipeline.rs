@@ -455,8 +455,10 @@ fn sweep_metrics_cover_kernels_stages_and_cache() {
     assert_eq!(result.records.len(), 8);
 
     let snap = &result.metrics;
-    // Kernel layer: Bibliometric + Degree-discounted each run two SpGEMMs.
-    assert!(snap.counter("spgemm.calls").unwrap_or(0) >= 4, "{snap:?}");
+    // Kernel layer: Bibliometric + Degree-discounted are one fused
+    // two-term SYRK product each (DESIGN.md §12).
+    assert!(snap.counter("spgemm.calls").unwrap_or(0) >= 2, "{snap:?}");
+    assert_eq!(snap.counter("spgemm.syrk_calls"), Some(2), "{snap:?}");
     assert!(snap.counter("spgemm.flops").unwrap_or(0) > 0);
     assert!(snap.counter("spgemm.nnz_final").unwrap_or(0) > 0);
     // Cluster layer: MLR-MCL ran on each of the four symmetrizations.

@@ -30,6 +30,12 @@ pub enum SparseError {
     /// [`CancelToken`](crate::cancel::CancelToken); any partial output was
     /// discarded.
     Cancelled,
+    /// A parallel kernel worker thread panicked. The panic is caught at the
+    /// thread boundary and surfaced as an error (carrying the panic
+    /// message) so callers — notably the engine's per-stage retry policy —
+    /// can handle it like any other stage failure instead of unwinding
+    /// through the whole process.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for SparseError {
@@ -46,6 +52,7 @@ impl fmt::Display for SparseError {
             }
             SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             SparseError::Cancelled => write!(f, "operation cancelled"),
+            SparseError::WorkerPanic(msg) => write!(f, "kernel worker panicked: {msg}"),
         }
     }
 }

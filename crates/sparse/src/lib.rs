@@ -10,7 +10,11 @@
 //! * [`CooMatrix`] — a triplet builder that deduplicates on conversion,
 //! * Gustavson-style sparse matrix–matrix multiplication ([`spgemm`]),
 //!   including a thresholded variant that prunes on the fly and a
-//!   crossbeam-parallel row-partitioned variant,
+//!   crossbeam-parallel variant scheduled by work-stealing over row blocks,
+//! * a symmetric SYRK kernel family ([`spgemm_syrk`]) computing `X·Xᵀ`
+//!   (and fused sums of such products) upper-triangle-only with an O(nnz)
+//!   mirror pass — the hot path of the Bibliometric and Degree-discounted
+//!   symmetrizations,
 //! * diagonal scaling, transposition, element-wise combination and pruning,
 //! * [`pagerank`] — power iteration for the stationary distribution of a
 //!   random walk with teleportation (used by the Random-walk symmetrization
@@ -31,7 +35,9 @@ pub mod error;
 pub mod lanczos;
 pub mod ops;
 pub mod pagerank;
+mod sched;
 pub mod spgemm;
+pub mod syrk;
 
 pub use cancel::CancelToken;
 pub use coo::CooMatrix;
@@ -46,7 +52,10 @@ pub use pagerank::{
 };
 pub use spgemm::{
     spgemm, spgemm_budgeted, spgemm_cancellable, spgemm_nnz_upper_bound, spgemm_observed,
-    spgemm_parallel, spgemm_thresholded, BudgetedSpgemm, SpgemmOptions,
+    spgemm_parallel, spgemm_thresholded, threads_from_env, BudgetedSpgemm, SpgemmOptions,
+};
+pub use syrk::{
+    spgemm_syrk, spgemm_syrk_observed, spgemm_syrk_sum_budgeted, spgemm_syrk_sum_observed, SyrkTerm,
 };
 
 /// Result alias used across the crate.

@@ -1,0 +1,186 @@
+//! Work-stealing row-block scheduler for the parallel SpGEMM kernels.
+//!
+//! The previous parallel kernels partitioned output rows up front by a
+//! FLOP estimate. On the power-law degree distributions the paper targets
+//! (§3.5) that static split degrades badly: one hub-heavy chunk can cost
+//! orders of magnitude more than its estimate, leaving every other worker
+//! idle. This module replaces it with dynamic scheduling:
+//!
+//! * output rows are grouped into fixed-size **blocks**;
+//! * each worker owns a contiguous range of blocks, packed as `(lo, hi)`
+//!   into one `AtomicU64` per worker;
+//! * an owner pops blocks from the *front* of its range; a worker that
+//!   drains its own range **steals** from the *back* of a victim's range
+//!   (classic work-stealing deque ends, so owner and thief rarely contend
+//!   on the same block);
+//! * both pop and steal are single-CAS operations on the packed word.
+//!   Ranges only ever shrink, so there is no ABA hazard.
+//!
+//! Scheduling order is nondeterministic, but blocks are tagged with their
+//! index and assembled in block order afterwards, so kernel *output* (and
+//! every per-row work counter) is bit-identical for any thread count. The
+//! only scheduling-dependent observable is the steal count, exported as
+//! the `spgemm.sched_steals` metric and deliberately excluded from the
+//! bench gate's exact-match keys.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rows per scheduling block. Small enough that a single hub block cannot
+/// serialize the tail of a run, large enough that the CAS traffic per row
+/// is negligible.
+pub(crate) const DEFAULT_BLOCK_ROWS: usize = 64;
+
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// One packed `[lo, hi)` block range per worker.
+pub(crate) struct BlockQueues {
+    ranges: Vec<AtomicU64>,
+}
+
+impl BlockQueues {
+    /// Splits `n_blocks` into `n_workers` contiguous ranges (first blocks
+    /// go to worker 0, matching the deterministic assembly order).
+    pub(crate) fn new(n_blocks: usize, n_workers: usize) -> Self {
+        assert!(n_workers > 0);
+        assert!(n_blocks < u32::MAX as usize, "block count overflows u32");
+        let per = n_blocks / n_workers;
+        let extra = n_blocks % n_workers;
+        let mut ranges = Vec::with_capacity(n_workers);
+        let mut lo = 0usize;
+        for w in 0..n_workers {
+            let len = per + usize::from(w < extra);
+            ranges.push(AtomicU64::new(pack(lo as u32, (lo + len) as u32)));
+            lo += len;
+        }
+        BlockQueues { ranges }
+    }
+
+    /// Pops the next block from the front of worker `w`'s own range.
+    pub(crate) fn pop_own(&self, w: usize) -> Option<usize> {
+        let slot = &self.ranges[w];
+        let mut cur = slot.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            match slot.compare_exchange_weak(
+                cur,
+                pack(lo + 1, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(lo as usize),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Steals one block from the back of another worker's range. Victims
+    /// are scanned in a deterministic order starting after `w`; returns
+    /// `None` only when every range is empty.
+    pub(crate) fn steal(&self, w: usize) -> Option<usize> {
+        let n = self.ranges.len();
+        for offset in 1..n {
+            let victim = (w + offset) % n;
+            let slot = &self.ranges[victim];
+            let mut cur = slot.load(Ordering::Acquire);
+            loop {
+                let (lo, hi) = unpack(cur);
+                if lo >= hi {
+                    break;
+                }
+                match slot.compare_exchange_weak(
+                    cur,
+                    pack(lo, hi - 1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return Some((hi - 1) as usize),
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn serial_drain_yields_every_block_once() {
+        let q = BlockQueues::new(10, 3);
+        let mut seen = Vec::new();
+        for w in 0..3 {
+            while let Some(b) = q.pop_own(w) {
+                seen.push(b);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(q.steal(0), None);
+    }
+
+    #[test]
+    fn stealing_takes_from_victim_tail() {
+        let q = BlockQueues::new(8, 2); // worker 0: [0,4), worker 1: [4,8)
+        assert_eq!(q.pop_own(0), Some(0));
+        // Worker 0 exhausted its range artificially: steal from worker 1.
+        for _ in 0..3 {
+            q.pop_own(0);
+        }
+        assert_eq!(q.pop_own(0), None);
+        assert_eq!(q.steal(0), Some(7));
+        assert_eq!(q.steal(0), Some(6));
+        assert_eq!(q.pop_own(1), Some(4));
+        assert_eq!(q.pop_own(1), Some(5));
+        assert_eq!(q.pop_own(1), None);
+        assert_eq!(q.steal(1), None);
+    }
+
+    #[test]
+    fn concurrent_drain_is_exactly_once() {
+        let n_blocks = 503; // prime, so ranges are uneven
+        let n_workers = 4;
+        let q = BlockQueues::new(n_blocks, n_workers);
+        let claimed = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for w in 0..n_workers {
+                let q = &q;
+                let claimed = &claimed;
+                scope.spawn(move |_| {
+                    let mut mine = Vec::new();
+                    while let Some(b) = q.pop_own(w).or_else(|| q.steal(w)) {
+                        mine.push(b);
+                    }
+                    claimed.lock().unwrap().extend(mine);
+                });
+            }
+        })
+        .unwrap();
+        let got = claimed.into_inner().unwrap();
+        assert_eq!(got.len(), n_blocks);
+        let distinct: HashSet<usize> = got.iter().copied().collect();
+        assert_eq!(distinct.len(), n_blocks, "a block was claimed twice");
+    }
+
+    #[test]
+    fn zero_blocks_is_empty_everywhere() {
+        let q = BlockQueues::new(0, 2);
+        assert_eq!(q.pop_own(0), None);
+        assert_eq!(q.pop_own(1), None);
+        assert_eq!(q.steal(0), None);
+    }
+}

@@ -8,12 +8,22 @@
 //! The thresholded variant applies a prune threshold *during* accumulation
 //! output, which is what makes the paper's Degree-discounted symmetrization
 //! tractable on hub-heavy graphs: the full product is never materialized
-//! (§3.5 of the paper). The parallel variant partitions output rows across
-//! crossbeam scoped threads with per-thread accumulators.
+//! (§3.5 of the paper). The parallel variant schedules output-row *blocks*
+//! over crossbeam scoped threads with per-thread accumulators and
+//! work-stealing (see [`crate::sched`]): a worker that drains its own block
+//! range steals blocks from a victim's tail, so power-law rows cannot
+//! strand the pool behind one overloaded static chunk. Blocks are
+//! reassembled in index order, so the output and every work counter are
+//! bit-identical for any thread count.
+//!
+//! The symmetric `C = X·Xᵀ` case has a dedicated upper-triangle kernel in
+//! [`crate::syrk`] that shares this module's scratch discipline, counters
+//! and scheduler.
 
 use crate::cancel::CancelToken;
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
+use crate::sched::{BlockQueues, DEFAULT_BLOCK_ROWS};
 use crate::Result;
 use symclust_obs::MetricsRegistry;
 
@@ -23,12 +33,17 @@ pub mod metric_names {
     pub const CALLS: &str = "spgemm.calls";
     /// Output rows produced.
     pub const ROWS: &str = "spgemm.rows";
-    /// Exact multiply-add count performed.
+    /// Exact multiply-add count performed. The SYRK kernels count only the
+    /// upper-triangle multiply-adds they actually perform — roughly half of
+    /// the general kernel's count for the same product.
     pub const FLOPS: &str = "spgemm.flops";
     /// Distinct accumulator entries touched before thresholding
     /// (intermediate nnz).
     pub const NNZ_INTERMEDIATE: &str = "spgemm.nnz_intermediate";
-    /// Entries emitted into the output (final nnz).
+    /// Entries emitted into the output (final nnz). For the SYRK kernels
+    /// this counts the upper-triangle entries the row pass emits; the
+    /// mirrored lower copies are tallied separately under
+    /// [`SYRK_MIRRORED_NNZ`].
     pub const NNZ_FINAL: &str = "spgemm.nnz_final";
     /// Accumulated entries not emitted (threshold, exact zero, or dropped
     /// diagonal).
@@ -38,17 +53,37 @@ pub mod metric_names {
     pub const DEGRADED_FALLBACKS: &str = "spgemm.degraded_fallbacks";
     /// Mid-run output compactions performed by the degraded path.
     pub const BUDGET_COMPACTIONS: &str = "spgemm.budget_compactions";
+    /// Invocations of the symmetric `X·Xᵀ` (SYRK) kernel family. Each also
+    /// counts once under [`CALLS`].
+    pub const SYRK_CALLS: &str = "spgemm.syrk_calls";
+    /// Lower-triangle entries materialized by the SYRK mirror pass (the
+    /// multiply-adds the symmetric kernel *skipped*; full output nnz is
+    /// [`NNZ_FINAL`] + this).
+    pub const SYRK_MIRRORED_NNZ: &str = "spgemm.syrk_mirrored_nnz";
+    /// Row blocks executed by a worker other than their initial owner
+    /// under the work-stealing scheduler. Scheduling-dependent: varies
+    /// with thread count and machine load (excluded from the bench gate),
+    /// but a persistently high ratio versus total blocks on a skewed graph
+    /// is the load-balancing at work.
+    pub const SCHED_STEALS: &str = "spgemm.sched_steals";
+}
+
+/// Parses the `SYMCLUST_THREADS` environment variable: the default SpGEMM
+/// thread count used by the symmetrizer option structs (`0` = one thread
+/// per available core). Unset or unparsable means "no preference".
+pub fn threads_from_env() -> Option<usize> {
+    std::env::var("SYMCLUST_THREADS").ok()?.trim().parse().ok()
 }
 
 /// Work counts accumulated in plain locals during a kernel run and
 /// flushed to the registry once per call — the atomics are never touched
 /// in the row loop.
 #[derive(Debug, Default, Clone, Copy)]
-struct SpgemmCounts {
-    rows: u64,
-    flops: u64,
-    touched: u64,
-    emitted: u64,
+pub(crate) struct SpgemmCounts {
+    pub(crate) rows: u64,
+    pub(crate) flops: u64,
+    pub(crate) touched: u64,
+    pub(crate) emitted: u64,
 }
 
 impl SpgemmCounts {
@@ -59,7 +94,7 @@ impl SpgemmCounts {
         self.emitted += other.emitted;
     }
 
-    fn flush(&self, metrics: Option<&MetricsRegistry>) {
+    pub(crate) fn flush(&self, metrics: Option<&MetricsRegistry>) {
         let Some(m) = metrics else { return };
         m.counter(metric_names::CALLS).inc();
         m.counter(metric_names::ROWS).add(self.rows);
@@ -106,6 +141,15 @@ fn check_dims(a: &CsrMatrix, b: &CsrMatrix) -> Result<()> {
     Ok(())
 }
 
+/// Resolves an [`SpgemmOptions::n_threads`] request to a concrete count.
+pub(crate) fn resolve_threads(n_threads: usize) -> usize {
+    if n_threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        n_threads
+    }
+}
+
 /// Computes one output row into the accumulator and flushes entries that pass
 /// the threshold into `(indices, values)`.
 #[inline]
@@ -145,6 +189,248 @@ fn gustavson_row(
     counts.touched += touched.len() as u64;
     counts.emitted += (indices.len() - emitted_before) as u64;
     touched.clear();
+}
+
+/// Output triple (plus work counters) of a row-kernel run, shared between
+/// the general and SYRK entry points.
+#[derive(Debug)]
+pub(crate) struct RowKernelOutput {
+    pub(crate) indptr: Vec<usize>,
+    pub(crate) indices: Vec<u32>,
+    pub(crate) values: Vec<f64>,
+    pub(crate) counts: SpgemmCounts,
+    /// Blocks executed by a non-owner worker (0 on the serial path).
+    pub(crate) steals: u64,
+}
+
+impl RowKernelOutput {
+    pub(crate) fn flush_steals(&self, metrics: Option<&MetricsRegistry>) {
+        if let Some(m) = metrics {
+            m.counter(metric_names::SCHED_STEALS).add(self.steals);
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
+
+/// Runs `row_kernel` over every output row, serially or under the
+/// work-stealing block scheduler, and assembles the rows in order.
+///
+/// `row_kernel(row, scratch, indices, values, counts)` must append row
+/// `row`'s entries to `(indices, values)` in ascending column order and
+/// leave `scratch` clean for the next row. `new_scratch` builds one
+/// per-worker scratch (dense accumulators + touched list), reused across
+/// every block that worker executes.
+///
+/// The parallel path converts worker panics into
+/// [`SparseError::WorkerPanic`] instead of unwinding: a poisoned kernel
+/// fails the call, not the process.
+pub(crate) fn run_rows<S, N, K>(
+    n_rows: usize,
+    n_threads: usize,
+    token: Option<&CancelToken>,
+    new_scratch: N,
+    row_kernel: K,
+) -> Result<RowKernelOutput>
+where
+    N: Fn() -> S + Sync,
+    K: Fn(usize, &mut S, &mut Vec<u32>, &mut Vec<f64>, &mut SpgemmCounts) + Sync,
+{
+    let n_threads = resolve_threads(n_threads);
+    if n_threads <= 1 || n_rows < 2 * n_threads {
+        return run_rows_serial(n_rows, token, &new_scratch, &row_kernel);
+    }
+
+    let block_rows = DEFAULT_BLOCK_ROWS;
+    let n_blocks = n_rows.div_ceil(block_rows);
+    let n_workers = n_threads.min(n_blocks);
+    let queues = BlockQueues::new(n_blocks, n_workers);
+
+    /// One finished block, tagged for deterministic reassembly.
+    struct BlockOut {
+        block: usize,
+        row_lens: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    }
+    type WorkerResult = Result<(Vec<BlockOut>, SpgemmCounts, u64)>;
+
+    let mut worker_results: Vec<WorkerResult> = Vec::with_capacity(n_workers);
+    let scope_result = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let queues = &queues;
+            let new_scratch = &new_scratch;
+            let row_kernel = &row_kernel;
+            handles.push(scope.spawn(move |_| -> WorkerResult {
+                let body =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> WorkerResult {
+                        let mut scratch = new_scratch();
+                        let mut outs: Vec<BlockOut> = Vec::new();
+                        let mut counts = SpgemmCounts::default();
+                        let mut steals = 0u64;
+                        loop {
+                            let (block, stolen) = match queues.pop_own(w) {
+                                Some(b) => (b, false),
+                                None => match queues.steal(w) {
+                                    Some(b) => (b, true),
+                                    None => break,
+                                },
+                            };
+                            steals += u64::from(stolen);
+                            let lo = block * block_rows;
+                            let hi = (lo + block_rows).min(n_rows);
+                            let mut row_lens = Vec::with_capacity(hi - lo);
+                            let mut indices = Vec::new();
+                            let mut values = Vec::new();
+                            for row in lo..hi {
+                                if let Some(t) = token {
+                                    t.checkpoint()?;
+                                }
+                                let before = indices.len();
+                                row_kernel(
+                                    row,
+                                    &mut scratch,
+                                    &mut indices,
+                                    &mut values,
+                                    &mut counts,
+                                );
+                                row_lens.push(indices.len() - before);
+                            }
+                            outs.push(BlockOut {
+                                block,
+                                row_lens,
+                                indices,
+                                values,
+                            });
+                        }
+                        Ok((outs, counts, steals))
+                    }));
+                match body {
+                    Ok(r) => r,
+                    Err(payload) => Err(SparseError::WorkerPanic(panic_text(payload.as_ref()))),
+                }
+            }));
+        }
+        for handle in handles {
+            worker_results.push(
+                handle
+                    .join()
+                    .unwrap_or_else(|p| Err(SparseError::WorkerPanic(panic_text(p.as_ref())))),
+            );
+        }
+    });
+    if let Err(payload) = scope_result {
+        return Err(SparseError::WorkerPanic(panic_text(payload.as_ref())));
+    }
+
+    // Error priority: a real failure (panic, invalid input) beats
+    // cancellation — when a worker dies, siblings usually just see the
+    // token trip afterwards.
+    let mut cancelled = false;
+    let mut blocks: Vec<BlockOut> = Vec::with_capacity(n_blocks);
+    let mut counts = SpgemmCounts::default();
+    let mut steals = 0u64;
+    let mut first_error: Option<SparseError> = None;
+    for wr in worker_results {
+        match wr {
+            Ok((outs, worker_counts, worker_steals)) => {
+                blocks.extend(outs);
+                counts.merge(&worker_counts);
+                steals += worker_steals;
+            }
+            Err(SparseError::Cancelled) => cancelled = true,
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    if cancelled {
+        return Err(SparseError::Cancelled);
+    }
+
+    blocks.sort_unstable_by_key(|b| b.block);
+    let total_nnz: usize = blocks.iter().map(|b| b.indices.len()).sum();
+    let mut indptr = Vec::with_capacity(n_rows + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::with_capacity(total_nnz);
+    let mut values = Vec::with_capacity(total_nnz);
+    for b in blocks {
+        for len in b.row_lens {
+            indptr.push(indptr.last().unwrap() + len);
+        }
+        indices.extend_from_slice(&b.indices);
+        values.extend_from_slice(&b.values);
+    }
+    debug_assert_eq!(indptr.len(), n_rows + 1, "blocks must cover every row");
+    Ok(RowKernelOutput {
+        indptr,
+        indices,
+        values,
+        counts,
+        steals,
+    })
+}
+
+fn run_rows_serial<S, N, K>(
+    n_rows: usize,
+    token: Option<&CancelToken>,
+    new_scratch: &N,
+    row_kernel: &K,
+) -> Result<RowKernelOutput>
+where
+    N: Fn() -> S,
+    K: Fn(usize, &mut S, &mut Vec<u32>, &mut Vec<f64>, &mut SpgemmCounts),
+{
+    let mut scratch = new_scratch();
+    let mut indptr = Vec::with_capacity(n_rows + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    let mut counts = SpgemmCounts::default();
+    for row in 0..n_rows {
+        if let Some(t) = token {
+            t.checkpoint()?;
+        }
+        row_kernel(row, &mut scratch, &mut indices, &mut values, &mut counts);
+        indptr.push(indices.len());
+    }
+    Ok(RowKernelOutput {
+        indptr,
+        indices,
+        values,
+        counts,
+        steals: 0,
+    })
+}
+
+/// Dense accumulator + touched-column scratch for Gustavson-style row
+/// kernels.
+pub(crate) struct RowScratch {
+    pub(crate) acc: Vec<f64>,
+    pub(crate) touched: Vec<u32>,
+}
+
+impl RowScratch {
+    pub(crate) fn new(n_cols: usize) -> Self {
+        RowScratch {
+            acc: vec![0.0f64; n_cols],
+            touched: Vec::new(),
+        }
+    }
 }
 
 /// Serial Gustavson SpGEMM: `C = A·B`.
@@ -197,39 +483,38 @@ fn spgemm_serial_with_token(
     check_dims(a, b)?;
     let n_rows = a.n_rows();
     let n_cols = b.n_cols();
-    let mut acc = vec![0.0f64; n_cols];
-    let mut touched: Vec<u32> = Vec::new();
-    let mut indptr = Vec::with_capacity(n_rows + 1);
-    indptr.push(0usize);
-    let mut indices = Vec::new();
-    let mut values = Vec::new();
-    let mut counts = SpgemmCounts::default();
-    for row in 0..n_rows {
-        if let Some(t) = token {
-            t.checkpoint()?;
-        }
-        gustavson_row(
-            a,
-            b,
-            row,
-            &mut acc,
-            &mut touched,
-            opts,
-            &mut indices,
-            &mut values,
-            &mut counts,
-        );
-        indptr.push(indices.len());
-    }
-    counts.flush(metrics);
+    let out = run_rows_serial(
+        n_rows,
+        token,
+        &|| RowScratch::new(n_cols),
+        &|row, scratch: &mut RowScratch, indices, values, counts| {
+            gustavson_row(
+                a,
+                b,
+                row,
+                &mut scratch.acc,
+                &mut scratch.touched,
+                opts,
+                indices,
+                values,
+                counts,
+            );
+        },
+    )?;
+    out.counts.flush(metrics);
     Ok(CsrMatrix::from_raw_parts_unchecked(
-        n_rows, n_cols, indptr, indices, values,
+        n_rows,
+        n_cols,
+        out.indptr,
+        out.indices,
+        out.values,
     ))
 }
 
-/// Parallel SpGEMM: output rows are split into contiguous chunks, one per
-/// worker; each worker runs Gustavson with its own accumulator, and the
-/// chunks are stitched together afterwards.
+/// Parallel SpGEMM: output-row blocks are scheduled over workers with
+/// work-stealing; each worker runs Gustavson with its own reusable
+/// accumulator, and blocks are stitched together in index order, so the
+/// result is identical to the serial kernel for any thread count.
 pub fn spgemm_parallel(a: &CsrMatrix, b: &CsrMatrix, opts: &SpgemmOptions) -> Result<CsrMatrix> {
     spgemm_parallel_with_token(a, b, opts, None, None)
 }
@@ -244,100 +529,33 @@ fn spgemm_parallel_with_token(
     check_dims(a, b)?;
     let n_rows = a.n_rows();
     let n_cols = b.n_cols();
-    let n_threads = if opts.n_threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        opts.n_threads
-    };
-    if n_threads <= 1 || n_rows < 2 * n_threads {
-        return spgemm_serial_with_token(a, b, opts, token, metrics);
-    }
-
-    // Balance chunks by FLOP estimate (sum over rows of Σ nnz(B[k,:])).
-    let row_flops: Vec<usize> = (0..n_rows)
-        .map(|r| {
-            a.row_indices(r)
-                .iter()
-                .map(|&k| b.row_nnz(k as usize))
-                .sum()
-        })
-        .collect();
-    let total_flops: usize = row_flops.iter().sum();
-    let target = total_flops / n_threads + 1;
-    let mut bounds = vec![0usize];
-    let mut acc_flops = 0usize;
-    for (r, &f) in row_flops.iter().enumerate() {
-        acc_flops += f;
-        if acc_flops >= target && bounds.len() < n_threads && r + 1 < n_rows {
-            bounds.push(r + 1);
-            acc_flops = 0;
-        }
-    }
-    bounds.push(n_rows);
-
-    let n_chunks = bounds.len() - 1;
-    type ChunkResult = Result<(Vec<usize>, Vec<u32>, Vec<f64>, SpgemmCounts)>;
-    let mut results: Vec<Option<ChunkResult>> = (0..n_chunks).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n_chunks);
-        for chunk in 0..n_chunks {
-            let (lo, hi) = (bounds[chunk], bounds[chunk + 1]);
-            let opts = *opts;
-            handles.push(scope.spawn(move |_| -> ChunkResult {
-                let mut acc = vec![0.0f64; n_cols];
-                let mut touched: Vec<u32> = Vec::new();
-                let mut row_lens = Vec::with_capacity(hi - lo);
-                let mut indices = Vec::new();
-                let mut values = Vec::new();
-                let mut counts = SpgemmCounts::default();
-                for row in lo..hi {
-                    if let Some(t) = token {
-                        t.checkpoint()?;
-                    }
-                    let before = indices.len();
-                    gustavson_row(
-                        a,
-                        b,
-                        row,
-                        &mut acc,
-                        &mut touched,
-                        &opts,
-                        &mut indices,
-                        &mut values,
-                        &mut counts,
-                    );
-                    row_lens.push(indices.len() - before);
-                }
-                Ok((row_lens, indices, values, counts))
-            }));
-        }
-        for (chunk, handle) in handles.into_iter().enumerate() {
-            results[chunk] = Some(handle.join().expect("spgemm worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-
-    let mut chunks = Vec::with_capacity(n_chunks);
-    for r in results.into_iter() {
-        chunks.push(r.expect("missing spgemm chunk")?);
-    }
-    let mut indptr = Vec::with_capacity(n_rows + 1);
-    indptr.push(0usize);
-    let total_nnz: usize = chunks.iter().map(|(_, idx, _, _)| idx.len()).sum();
-    let mut indices = Vec::with_capacity(total_nnz);
-    let mut values = Vec::with_capacity(total_nnz);
-    let mut counts = SpgemmCounts::default();
-    for (row_lens, idx, vals, chunk_counts) in chunks {
-        for len in row_lens {
-            indptr.push(indptr.last().unwrap() + len);
-        }
-        indices.extend_from_slice(&idx);
-        values.extend_from_slice(&vals);
-        counts.merge(&chunk_counts);
-    }
-    counts.flush(metrics);
+    let out = run_rows(
+        n_rows,
+        opts.n_threads,
+        token,
+        || RowScratch::new(n_cols),
+        |row, scratch: &mut RowScratch, indices, values, counts| {
+            gustavson_row(
+                a,
+                b,
+                row,
+                &mut scratch.acc,
+                &mut scratch.touched,
+                opts,
+                indices,
+                values,
+                counts,
+            );
+        },
+    )?;
+    out.counts.flush(metrics);
+    out.flush_steals(metrics);
     Ok(CsrMatrix::from_raw_parts_unchecked(
-        n_rows, n_cols, indptr, indices, values,
+        n_rows,
+        n_cols,
+        out.indptr,
+        out.indices,
+        out.values,
     ))
 }
 
@@ -448,15 +666,7 @@ pub fn spgemm_budgeted(
         );
         indptr.push(indices.len());
         if values.len() > budget_nnz {
-            // Raise the threshold to the magnitude of the ~(budget/2)-th
-            // strongest entry seen so far, then drop everything weaker.
-            // Halving (instead of trimming to exactly the budget) keeps
-            // compactions O(log) in number rather than per-row.
-            let keep = (budget_nnz / 2).max(1);
-            let mut mags: Vec<f64> = values.iter().map(|v| v.abs()).collect();
-            let kth = keep.min(mags.len()) - 1;
-            mags.select_nth_unstable_by(kth, |x, y| y.total_cmp(x));
-            live_opts.threshold = live_opts.threshold.max(mags[kth]);
+            live_opts.threshold = raised_threshold(&values, live_opts.threshold, budget_nnz);
             compact_thresholded(&mut indptr, &mut indices, &mut values, live_opts.threshold);
             compactions += 1;
         }
@@ -476,9 +686,21 @@ pub fn spgemm_budgeted(
     })
 }
 
+/// The adaptive-threshold raise used by the budget-degraded paths: the
+/// magnitude of the ~(budget/2)-th strongest entry seen so far. Halving
+/// (instead of trimming to exactly the budget) keeps compactions O(log)
+/// in number rather than per-row.
+pub(crate) fn raised_threshold(values: &[f64], current: f64, budget_nnz: usize) -> f64 {
+    let keep = (budget_nnz / 2).max(1);
+    let mut mags: Vec<f64> = values.iter().map(|v| v.abs()).collect();
+    let kth = keep.min(mags.len()) - 1;
+    mags.select_nth_unstable_by(kth, |x, y| y.total_cmp(x));
+    current.max(mags[kth])
+}
+
 /// Drops entries with `|v| < threshold` from a partially-built CSR triple
 /// in place, rewriting `indptr` for the rows emitted so far.
-fn compact_thresholded(
+pub(crate) fn compact_thresholded(
     indptr: &mut [usize],
     indices: &mut Vec<u32>,
     values: &mut Vec<f64>,
@@ -596,23 +818,26 @@ mod tests {
         assert_eq!(c.get(0, 1), 2.0);
     }
 
-    #[test]
-    fn parallel_matches_serial() {
-        // Deterministic pseudo-random matrix, large enough to split.
-        let n = 64;
+    fn pseudo_random_matrix(n: usize, seed: u64, density_shift: u32) -> CsrMatrix {
         let mut rows = vec![vec![0.0; n]; n];
-        let mut state = 0x243F6A8885A308D3u64;
+        let mut state = seed;
         for r in rows.iter_mut() {
             for v in r.iter_mut() {
                 state = state
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
-                if state >> 60 == 0 {
+                if state >> (64 - density_shift) == 0 {
                     *v = ((state >> 32) % 7 + 1) as f64;
                 }
             }
         }
-        let a = CsrMatrix::from_dense(&rows);
+        CsrMatrix::from_dense(&rows)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // Deterministic pseudo-random matrix, large enough to split.
+        let a = pseudo_random_matrix(64, 0x243F6A8885A308D3, 4);
         let serial = spgemm(&a, &a).unwrap();
         let opts = SpgemmOptions {
             n_threads: 4,
@@ -628,6 +853,22 @@ mod tests {
     }
 
     #[test]
+    fn parallel_is_identical_across_thread_counts() {
+        // Bit-identical output regardless of scheduling: the block
+        // assembly is deterministic even when every block is stolen.
+        let a = pseudo_random_matrix(200, 0x9E3779B97F4A7C15, 3);
+        let serial = spgemm(&a, &a).unwrap();
+        for n_threads in [2, 3, 5, 8] {
+            let opts = SpgemmOptions {
+                n_threads,
+                ..Default::default()
+            };
+            let parallel = spgemm_parallel(&a, &a, &opts).unwrap();
+            assert_eq!(serial, parallel, "thread count {n_threads}");
+        }
+    }
+
+    #[test]
     fn parallel_small_input_falls_back_to_serial() {
         let a = CsrMatrix::from_dense(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let opts = SpgemmOptions {
@@ -636,6 +877,44 @@ mod tests {
         };
         let c = spgemm_parallel(&a, &a, &opts).unwrap();
         assert_eq!(c, spgemm(&a, &a).unwrap());
+    }
+
+    #[test]
+    fn worker_panic_becomes_error_not_abort() {
+        // A panic inside a worker's row kernel must surface as
+        // SparseError::WorkerPanic from the runner, not kill the process.
+        let err = run_rows(
+            1024,
+            4,
+            None,
+            || (),
+            |row, _scratch: &mut (), indices, values, _counts| {
+                if row == 700 {
+                    panic!("injected row failure");
+                }
+                indices.push(0);
+                values.push(1.0);
+            },
+        )
+        .unwrap_err();
+        match err {
+            SparseError::WorkerPanic(msg) => assert!(msg.contains("injected row failure")),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steals_counter_is_recorded_for_parallel_runs() {
+        let a = pseudo_random_matrix(300, 0x243F6A8885A308D3, 3);
+        let m = MetricsRegistry::new();
+        let opts = SpgemmOptions {
+            n_threads: 4,
+            ..Default::default()
+        };
+        spgemm_observed(&a, &a, &opts, None, Some(&m)).unwrap();
+        // The steal count itself is scheduling-dependent; what is
+        // guaranteed is that the counter exists after a parallel run.
+        assert!(m.snapshot().counter(metric_names::SCHED_STEALS).is_some());
     }
 
     #[test]
@@ -651,6 +930,20 @@ mod tests {
         };
         let parallel = spgemm_cancellable(&a, &a, &opts, &token);
         assert_eq!(parallel, Err(SparseError::Cancelled));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_large_parallel_multiply() {
+        // Large enough that the parallel path actually spawns workers.
+        let a = pseudo_random_matrix(128, 0x243F6A8885A308D3, 3);
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let opts = SpgemmOptions {
+            n_threads: 4,
+            ..Default::default()
+        };
+        let r = spgemm_cancellable(&a, &a, &opts, &token);
+        assert_eq!(r, Err(SparseError::Cancelled));
     }
 
     #[test]
@@ -754,20 +1047,7 @@ mod tests {
 
     #[test]
     fn parallel_observed_counters_match_serial() {
-        let n = 64;
-        let mut rows = vec![vec![0.0; n]; n];
-        let mut state = 0x243F6A8885A308D3u64;
-        for r in rows.iter_mut() {
-            for v in r.iter_mut() {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                if state >> 60 == 0 {
-                    *v = ((state >> 32) % 7 + 1) as f64;
-                }
-            }
-        }
-        let a = CsrMatrix::from_dense(&rows);
+        let a = pseudo_random_matrix(64, 0x243F6A8885A308D3, 4);
         let serial = MetricsRegistry::new();
         let serial_opts = SpgemmOptions {
             n_threads: 1,

@@ -28,3 +28,8 @@ cargo build --release -q -p symclust-cli -p symclust-bench
 
 ./target/release/bench_gate emit "$OUT_DIR/metrics.json" "$OUT_DIR/BENCH_pipeline.json"
 ./target/release/bench_gate check "$BASELINE" "$OUT_DIR/BENCH_pipeline.json" "$TOLERANCE"
+
+# SYRK speedup lock: the symmetric kernel must do strictly fewer
+# multiply-adds than the general kernel on the bundled example, for a
+# bit-identical product.
+./target/release/bench_gate syrk-check examples/data/dsbm_small.txt

@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy build test fault debug-assertions bench)
+ALL_STAGES=(fmt clippy build test fault debug-assertions threads-matrix bench)
 
 stage_fmt() { cargo fmt --all -- --check; }
 stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
@@ -24,6 +24,16 @@ stage_debug_assertions() {
     cargo test -q --release -p symclust-engine
 }
 stage_bench() { ./scripts/bench_gate.sh; }
+# Scheduling-determinism matrix: the kernel/symmetrizer tests must pass
+# with the SpGEMM thread default forced serial and forced 4-way, since
+# output (and every deterministic counter) is spec'd bit-identical for
+# any thread count.
+stage_threads_matrix() {
+  for n in 1 4; do
+    echo "--- SYMCLUST_THREADS=$n"
+    SYMCLUST_THREADS="$n" cargo test -q -p symclust-sparse -p symclust-core
+  done
+}
 
 run_stage() {
   local name="$1"
