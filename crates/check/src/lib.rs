@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Correctness tooling for the `symclust` workspace (DESIGN.md §13).
+//!
+//! Two pillars live here; the third (CSR structural validators) lives in
+//! `symclust-sparse` next to the data structure it validates:
+//!
+//! * [`lint`] — a dependency-free lint driver enforcing repo-specific
+//!   contracts that `clippy` cannot know: cancellation plumbing on public
+//!   kernels, the DESIGN.md §11 metric-name taxonomy (cross-checked
+//!   against the bench gate's `EXACT_KEYS`), no panicking `unwrap`/
+//!   `expect` in library code, and purity of the engine's cache-key /
+//!   fingerprint code.
+//! * [`schedmodel`] — an exhaustive interleaving model checker for the
+//!   work-stealing `(lo, hi)` CAS protocol in `symclust-sparse::sched`,
+//!   proving exactly-once block execution and clean termination for every
+//!   schedule of up to 3 workers × 6 blocks.
+//!
+//! Both run in CI via `scripts/ci.sh check` and are exposed through the
+//! `symclust-check` binary (`lint`, `sched-model`, `list-rules`).
+
+pub mod lint;
+pub mod schedmodel;

@@ -1,0 +1,1041 @@
+//! Repo-invariant lint driver.
+//!
+//! `cargo clippy` enforces language-level hygiene; this module enforces the
+//! *workspace contracts* that no generic tool knows about (DESIGN.md §13):
+//!
+//! 1. **kernel-cancel-token** — every public kernel entry point in
+//!    `sparse`/`core`/`cluster` (SpGEMM, symmetrizations, clusterers,
+//!    PageRank, Lanczos, nibble) must accept a `CancelToken`, or be on the
+//!    allowlist of deliberate convenience wrappers whose cancellable
+//!    sibling exists.
+//! 2. **metric-name-taxonomy** — every metric name registered in source
+//!    (via `metric_names` constants or inline `.counter("…")`-style calls)
+//!    must appear in DESIGN.md §11, and every bench-gate `EXACT_KEYS`
+//!    entry must correspond to a name actually registered in source. A
+//!    renamed counter therefore fails CI instead of silently flatlining a
+//!    dashboard or orphaning a baseline key.
+//! 3. **no-unwrap-expect** — no `.unwrap()` / `.expect(` in non-test
+//!    library code; panics belong to callers, not kernels. Allowlisted:
+//!    mutex-lock expects (poisoning is fatal by design) and a handful of
+//!    structurally-infallible cases, each with a recorded reason.
+//! 4. **cache-key-purity** — the engine's cache-key/fingerprint code must
+//!    stay deterministic: no wall-clock reads and no thread counts may
+//!    flow into `fingerprint.rs`, `cache.rs`, or any `*cache_params*` /
+//!    `chain_key` / `stage_key` function body. (Thread count is excluded
+//!    from cache keys *on purpose* — kernels are bit-deterministic across
+//!    thread counts, DESIGN.md §12.)
+//!
+//! The scanner is deliberately line-based over comment/string-stripped
+//! source (no syntax tree, zero dependencies): the rules only need
+//! signatures, brace depth, and string literals, and a 300-line scanner
+//! that CI builds in two seconds beats a proc-macro stack. Every
+//! allowlist entry is checked for staleness — an entry that matches
+//! nothing is itself a lint error, so the lists cannot rot.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (see module docs).
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The rules this driver enforces, with one-line summaries (for
+/// `symclust-check list-rules`).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "kernel-cancel-token",
+        "public kernels in sparse/core/cluster accept a CancelToken (or are allowlisted wrappers)",
+    ),
+    (
+        "metric-name-taxonomy",
+        "metric names in source match DESIGN.md §11 and cover the bench gate EXACT_KEYS",
+    ),
+    (
+        "no-unwrap-expect",
+        "no .unwrap()/.expect( in non-test library code",
+    ),
+    (
+        "cache-key-purity",
+        "no wall-clock or thread counts in engine cache-key/fingerprint code",
+    ),
+];
+
+/// Public kernels allowed to omit `CancelToken`, with the reason. Every
+/// entry must still match a scanned function (staleness check).
+const ALLOW_NO_TOKEN: &[(&str, &str)] = &[
+    (
+        "spgemm",
+        "serial convenience wrapper; spgemm_cancellable is the kernel entry",
+    ),
+    (
+        "spgemm_thresholded",
+        "serial convenience wrapper over the cancellable kernel",
+    ),
+    (
+        "spgemm_parallel",
+        "convenience wrapper; forwards to the cancellable runner with a fresh token",
+    ),
+    (
+        "spgemm_nnz_upper_bound",
+        "O(nnz) estimator, not a kernel; used to decide degraded mode",
+    ),
+    (
+        "spgemm_syrk",
+        "serial convenience wrapper; spgemm_syrk_observed takes the token",
+    ),
+    (
+        "spgemm_flops",
+        "O(nnz) FLOP estimator, not a kernel; used to size degraded mode",
+    ),
+    (
+        "pagerank",
+        "convenience wrapper; pagerank_cancellable is the kernel entry",
+    ),
+    (
+        "lanczos_smallest",
+        "convenience wrapper; lanczos_smallest_cancellable is the kernel entry",
+    ),
+    (
+        "pagerank_nibble",
+        "local-partitioning entry; runs in milliseconds on the push frontier",
+    ),
+    (
+        "pagerank_nibble_directed",
+        "local-partitioning entry; runs in milliseconds on the push frontier",
+    ),
+    (
+        "cluster_of",
+        "assignment lookup on a finished Clustering, not a kernel",
+    ),
+    (
+        "cluster_digraph",
+        "BestWCut baseline entry; dominated by pagerank, which bounds its own iterations",
+    ),
+    (
+        "cluster_embedding",
+        "k-means over a k-dimensional spectral embedding; negligible next to Lanczos",
+    ),
+    (
+        "rmcl_iterate",
+        "single-iteration step; the cancellable driver loops over it",
+    ),
+];
+
+/// `.unwrap()`/`.expect(` occurrences allowed in library code:
+/// `(path suffix, raw-line needle, reason)`. Staleness-checked.
+const ALLOW_UNWRAP: &[(&str, &str, &str)] = &[
+    (
+        "engine/src/exec.rs",
+        "lock",
+        "mutex poisoning is fatal by design: a poisoned worker already aborted the sweep",
+    ),
+    (
+        "engine/src/exec.rs",
+        ".expect(\"engine worker pool\")",
+        "crossbeam scope join fails only on a worker panic, already caught per-stage",
+    ),
+    (
+        "engine/src/exec.rs",
+        "node has a method",
+        "plan construction guarantees the field; a None is a Plan::build bug",
+    ),
+    (
+        "engine/src/exec.rs",
+        "node has a clusterer",
+        "plan construction guarantees the field; a None is a Plan::build bug",
+    ),
+    (
+        "engine/src/exec.rs",
+        "node has a threshold",
+        "plan construction guarantees the field; a None is a Plan::build bug",
+    ),
+    (
+        "engine/src/exec.rs",
+        ".expect(\"dependency output missing\")",
+        "present by construction: the dispatcher releases a node only after its deps settled",
+    ),
+    (
+        "engine/src/cache.rs",
+        "lock",
+        "mutex/condvar poisoning is fatal by design",
+    ),
+    (
+        "engine/src/spec.rs",
+        ".expect(",
+        "harness-facing eager API documented to panic; engine path uses the cancellable variants",
+    ),
+    (
+        "cli/src/commands.rs",
+        ".unwrap()",
+        "event-log mutex; poisoning means the event callback panicked, which aborted the run",
+    ),
+    (
+        "obs/src/registry.rs",
+        ".unwrap()",
+        "metrics registry mutexes (every unwrap in this file is a lock); poisoning is fatal by design",
+    ),
+    (
+        "obs/src/metric.rs",
+        ".expect(\"histogram has buckets\")",
+        "the constructor always appends the overflow bucket",
+    ),
+    (
+        "sparse/src/spgemm.rs",
+        "indptr.last().unwrap()",
+        "indptr starts from a pushed 0 and is never empty",
+    ),
+    (
+        "sparse/src/syrk.rs",
+        "indptr.last().unwrap()",
+        "indptr starts from a pushed 0 and is never empty",
+    ),
+    (
+        "cluster/src/mcl.rs",
+        "indptr.last().unwrap()",
+        "indptr starts from a pushed 0 and is never empty",
+    ),
+    (
+        "cluster/src/mcl.rs",
+        ".expect(\"same-shape add cannot fail\")",
+        "operands constructed with identical shape on the preceding lines",
+    ),
+    (
+        "cluster/src/mcl.rs",
+        ".expect(\"mcl worker panicked\")",
+        "scoped-thread join fails only on a worker panic; re-raising is intended",
+    ),
+    (
+        "cluster/src/mcl.rs",
+        ".expect(\"crossbeam scope failed\")",
+        "scope join fails only on a worker panic; re-raising is intended",
+    ),
+    (
+        "cluster/src/bestwcut.rs",
+        ".expect(",
+        "shape/length preconditions established immediately above; candidate set non-empty by loop bounds",
+    ),
+    (
+        "cluster/src/kmeans.rs",
+        ".expect(\"at least one init\")",
+        "the init loop runs n_init.max(1) >= 1 times, so best is always Some",
+    ),
+    (
+        "cluster/src/metis_like.rs",
+        ".expect(\"k >= 1\")",
+        "k is validated positive at entry; max over 0..k is Some",
+    ),
+    (
+        "cluster/src/spectral.rs",
+        ".expect(",
+        "diagonal-scale/add operands constructed with matching shape in this function",
+    ),
+    (
+        "datasets/src/lib.rs",
+        ".expect(\"generator config is valid\")",
+        "the config literal is a compile-time constant known to be valid",
+    ),
+    (
+        "eval/src/ncut.rs",
+        ".expect(",
+        "pagerank with teleport > 0 on a non-empty graph always converges",
+    ),
+    (
+        "graph/src/generators/toy.rs",
+        ".expect(",
+        "static, compile-time-known edge lists and label counts",
+    ),
+    (
+        "graph/src/ungraph.rs",
+        ".expect(\"indices in range by construction\")",
+        "CSR invariants were checked when the matrix was built",
+    ),
+    (
+        "sparse/src/ops.rs",
+        ".expect(\"row_sums length always matches\")",
+        "row_sums is computed from the same matrix two lines above",
+    ),
+];
+
+/// Tokens banned from cache-key/fingerprint code, with the reason shown in
+/// the violation.
+const CACHE_KEY_BANNED: &[(&str, &str)] = &[
+    (
+        "Instant::now",
+        "wall clock would make keys differ across runs",
+    ),
+    (
+        "SystemTime",
+        "wall clock would make keys differ across runs",
+    ),
+    (
+        "available_parallelism",
+        "thread count is machine-dependent and excluded from keys by design",
+    ),
+    (
+        "spgemm_threads",
+        "thread count must not reach cache keys (kernels are bit-deterministic across threads)",
+    ),
+    (
+        "n_threads",
+        "thread count must not reach cache keys (kernels are bit-deterministic across threads)",
+    ),
+];
+
+/// Name fragments that mark a `pub fn` as a kernel entry point for the
+/// cancel-token rule.
+const KERNEL_NAME_PATTERNS: &[&str] = &[
+    "spgemm",
+    "symmetrize",
+    "cluster_",
+    "pagerank",
+    "lanczos",
+    "nibble",
+    "mcl_",
+];
+
+/// Metric-name prefixes governed by the taxonomy rule.
+const METRIC_PREFIXES: &[&str] = &["spgemm.", "prune.", "sym.", "mcl.", "engine."];
+
+/// Runs every rule over the workspace rooted at `root`. Returns the sorted
+/// violation list (empty = clean).
+pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
+    let sources = collect_sources(root)?;
+    let mut violations = Vec::new();
+    violations.extend(rule_kernel_cancel_token(&sources));
+    violations.extend(rule_metric_taxonomy(root, &sources)?);
+    violations.extend(rule_no_unwrap_expect(&sources));
+    violations.extend(rule_cache_key_purity(&sources));
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(violations)
+}
+
+/// Locates the workspace root by walking up from `start` until a directory
+/// holding both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// One scanned source file: raw text, comment/string-stripped text (same
+/// byte layout, contents blanked), and the line index where the trailing
+/// `#[cfg(test)] mod tests` region starts (`usize::MAX` if none).
+struct SourceFile {
+    rel_path: String,
+    raw_lines: Vec<String>,
+    code_lines: Vec<String>,
+    test_start: usize,
+}
+
+impl SourceFile {
+    fn crate_name(&self) -> &str {
+        // "crates/<name>/src/..."
+        self.rel_path.split('/').nth(1).unwrap_or("")
+    }
+
+    fn is_bin(&self) -> bool {
+        self.rel_path.contains("/bin/") || self.rel_path.ends_with("/main.rs")
+    }
+
+    /// Lines of non-test library code, `(line_no_1based, code, raw)`.
+    fn lib_lines(&self) -> impl Iterator<Item = (usize, &str, &str)> {
+        self.code_lines
+            .iter()
+            .zip(self.raw_lines.iter())
+            .enumerate()
+            .take(self.test_start)
+            .map(|(i, (code, raw))| (i + 1, code.as_str(), raw.as_str()))
+    }
+}
+
+fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut files)?;
+        }
+    }
+    let mut sources = Vec::new();
+    for path in files {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel_path = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let stripped = strip_comments_and_strings(&text);
+        let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let code_lines: Vec<String> = stripped.lines().map(str::to_string).collect();
+        let test_start = code_lines
+            .iter()
+            .position(|l| l.contains("#[cfg(test)]"))
+            .unwrap_or(usize::MAX);
+        sources.push(SourceFile {
+            rel_path,
+            raw_lines,
+            code_lines,
+            test_start,
+        });
+    }
+    sources.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(sources)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Replaces the contents of comments and string/char literals with spaces,
+/// preserving newlines and byte offsets, so later passes can match tokens
+/// without tripping over prose. Handles `//`, `/* */` (nested), `"…"`,
+/// `r"…"`/`r#"…"#`, and char literals well enough for this workspace; the
+/// goal is sound token scanning, not a full lexer.
+pub fn strip_comments_and_strings(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        // Preserve newlines in string line-continuations so
+                        // line numbers stay aligned with the raw source.
+                        out.push(b' ');
+                        out.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < bytes.len() && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#') => {
+                // Raw string r"…" / r#"…"#.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'"' {
+                    out.push(b'r');
+                    out.extend(std::iter::repeat_n(b'#', hashes));
+                    out.push(b'"');
+                    i = j + 1;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    while i < bytes.len() {
+                        if bytes[i..].starts_with(&closer) {
+                            out.extend_from_slice(&closer);
+                            i += closer.len();
+                            break;
+                        }
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                } else {
+                    out.push(b'r');
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime; a lifetime has no closing quote
+                // nearby, a char literal does. Copy lifetimes verbatim.
+                let close = bytes[i + 1..]
+                    .iter()
+                    .take(4)
+                    .position(|&c| c == b'\'')
+                    .map(|p| i + 1 + p);
+                match close {
+                    Some(end) if bytes.get(i + 1) != Some(&b'\'') => {
+                        out.push(b'\'');
+                        out.extend(std::iter::repeat_n(b' ', end - (i + 1)));
+                        out.push(b'\'');
+                        i = end + 1;
+                    }
+                    _ => {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Extracts the string literals of `text` (non-raw, single-line), in order,
+/// as `(line_no_1based, literal)`.
+pub fn string_literals(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'"' {
+                let mut lit = String::new();
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        i += 1; // keep escaped char verbatim (good enough)
+                    }
+                    lit.push(bytes[i] as char);
+                    i += 1;
+                }
+                out.push((idx + 1, lit));
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- rule 1
+
+/// A `pub fn` signature joined onto one line.
+struct PubFn {
+    name: String,
+    signature: String,
+    line: usize,
+}
+
+fn collect_pub_fns(file: &SourceFile) -> Vec<PubFn> {
+    let mut fns = Vec::new();
+    let lines: Vec<&str> = file
+        .code_lines
+        .iter()
+        .take(file.test_start)
+        .map(String::as_str)
+        .collect();
+    for (i, line) in lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with("pub fn ") {
+            continue;
+        }
+        let name: String = trimmed["pub fn ".len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        // Join lines until the signature's opening brace or trailing `;`.
+        let mut signature = String::new();
+        for joined in lines.iter().skip(i).take(24) {
+            signature.push_str(joined.trim());
+            signature.push(' ');
+            if joined.contains('{') || joined.trim_end().ends_with(';') {
+                break;
+            }
+        }
+        fns.push(PubFn {
+            name,
+            signature,
+            line: i + 1,
+        });
+    }
+    fns
+}
+
+fn rule_kernel_cancel_token(sources: &[SourceFile]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut allow_hits = vec![false; ALLOW_NO_TOKEN.len()];
+    for file in sources {
+        if !matches!(file.crate_name(), "sparse" | "core" | "cluster") {
+            continue;
+        }
+        for f in collect_pub_fns(file) {
+            let is_kernel = KERNEL_NAME_PATTERNS.iter().any(|p| f.name.contains(p));
+            if !is_kernel {
+                continue;
+            }
+            if f.signature.contains("CancelToken") {
+                continue;
+            }
+            if let Some(pos) = ALLOW_NO_TOKEN.iter().position(|(n, _)| *n == f.name) {
+                allow_hits[pos] = true;
+                continue;
+            }
+            violations.push(Violation {
+                rule: "kernel-cancel-token",
+                file: file.rel_path.clone(),
+                line: f.line,
+                message: format!(
+                    "public kernel `{}` does not accept a CancelToken; add one \
+                     (or allowlist it in crates/check with the reason a \
+                     cancellable sibling exists)",
+                    f.name
+                ),
+            });
+        }
+    }
+    for (hit, (name, _)) in allow_hits.iter().zip(ALLOW_NO_TOKEN) {
+        if !hit {
+            violations.push(Violation {
+                rule: "kernel-cancel-token",
+                file: "crates/check/src/lint.rs".into(),
+                line: 0,
+                message: format!("stale allowlist entry `{name}` matches no public kernel"),
+            });
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------- rule 2
+
+/// Collects metric names registered by source: `pub const` literals inside
+/// `mod metric_names` blocks, plus inline literals passed to registry
+/// calls.
+fn registered_metric_names(sources: &[SourceFile]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for file in sources {
+        let mut in_metric_mod = false;
+        let mut depth_at_entry = 0isize;
+        let mut depth = 0isize;
+        for (lineno, code, raw) in file.lib_lines() {
+            if code.contains("mod metric_names") {
+                in_metric_mod = true;
+                depth_at_entry = depth;
+            }
+            depth += code.matches('{').count() as isize;
+            depth -= code.matches('}').count() as isize;
+            let take_literals = (in_metric_mod && code.contains("pub const"))
+                || [".counter(\"", ".gauge(\"", ".histogram(\"", ".span(\""]
+                    .iter()
+                    .any(|c| raw.contains(*c));
+            if take_literals {
+                for (_, lit) in string_literals(raw) {
+                    if looks_like_metric_name(&lit) {
+                        names.insert(lit);
+                    }
+                }
+            }
+            let _ = lineno;
+            if in_metric_mod && depth <= depth_at_entry && code.contains('}') {
+                in_metric_mod = false;
+            }
+        }
+    }
+    names
+}
+
+fn looks_like_metric_name(s: &str) -> bool {
+    METRIC_PREFIXES.iter().any(|p| s.starts_with(p))
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+}
+
+/// Metric names documented in DESIGN.md §11: backtick-quoted tokens of the
+/// right shape. Slash-separated alternations (`` `a` / `b` ``) and comma
+/// lists all yield their own backtick groups, so plain extraction works.
+fn design_metric_names(root: &Path) -> Result<BTreeSet<String>, String> {
+    let design = root.join("DESIGN.md");
+    let text =
+        fs::read_to_string(&design).map_err(|e| format!("reading {}: {e}", design.display()))?;
+    let mut names = BTreeSet::new();
+    for part in text.split('`').skip(1).step_by(2) {
+        if looks_like_metric_name(part) {
+            names.insert(part.to_string());
+        }
+    }
+    Ok(names)
+}
+
+/// `EXACT_KEYS` literals from the bench gate source, `counter.` prefix
+/// stripped.
+fn bench_gate_keys(root: &Path) -> Result<Vec<(usize, String)>, String> {
+    let gate = root.join("crates/bench/src/gate.rs");
+    let text = fs::read_to_string(&gate).map_err(|e| format!("reading {}: {e}", gate.display()))?;
+    let mut keys = Vec::new();
+    let mut in_exact = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.contains("EXACT_KEYS") {
+            in_exact = true;
+        }
+        if in_exact {
+            for (_, lit) in string_literals(line) {
+                if let Some(stripped) = lit.strip_prefix("counter.") {
+                    keys.push((idx + 1, stripped.to_string()));
+                }
+            }
+            if line.contains("];") {
+                break;
+            }
+        }
+    }
+    Ok(keys)
+}
+
+fn rule_metric_taxonomy(root: &Path, sources: &[SourceFile]) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    let design = design_metric_names(root)?;
+    if design.is_empty() {
+        return Err("DESIGN.md §11 yielded no metric names — extraction broken?".into());
+    }
+    let registered = registered_metric_names(sources);
+
+    // Every name registered in source must be documented.
+    for file in sources {
+        let mut in_metric_mod = false;
+        for (lineno, code, raw) in file.lib_lines() {
+            if code.contains("mod metric_names") {
+                in_metric_mod = true;
+            }
+            let relevant = (in_metric_mod && code.contains("pub const"))
+                || [".counter(\"", ".gauge(\"", ".histogram(\"", ".span(\""]
+                    .iter()
+                    .any(|c| raw.contains(*c));
+            if !relevant {
+                continue;
+            }
+            for (_, lit) in string_literals(raw) {
+                if looks_like_metric_name(&lit) && !design.contains(&lit) {
+                    violations.push(Violation {
+                        rule: "metric-name-taxonomy",
+                        file: file.rel_path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "metric name \"{lit}\" is not in the DESIGN.md §11 taxonomy \
+                             (typo, or document it first)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Every bench-gate key must be documented AND registered somewhere.
+    for (line, key) in bench_gate_keys(root)? {
+        if !design.contains(&key) {
+            violations.push(Violation {
+                rule: "metric-name-taxonomy",
+                file: "crates/bench/src/gate.rs".into(),
+                line,
+                message: format!("EXACT_KEYS entry \"{key}\" is not documented in DESIGN.md §11"),
+            });
+        }
+        if !registered.contains(&key) {
+            violations.push(Violation {
+                rule: "metric-name-taxonomy",
+                file: "crates/bench/src/gate.rs".into(),
+                line,
+                message: format!(
+                    "EXACT_KEYS entry \"{key}\" matches no metric name registered in source \
+                     — orphaned baseline key"
+                ),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+// ---------------------------------------------------------------- rule 3
+
+fn rule_no_unwrap_expect(sources: &[SourceFile]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut allow_hits = vec![false; ALLOW_UNWRAP.len()];
+    for file in sources {
+        if file.is_bin() || file.crate_name() == "check" {
+            // Binaries report to humans and may exit loudly; the check
+            // crate lints itself structurally but is allowed assertions.
+            continue;
+        }
+        for (lineno, code, raw) in file.lib_lines() {
+            let hit = code.contains(".unwrap()") || code.contains(".expect(");
+            if !hit {
+                continue;
+            }
+            if code.trim_start().starts_with("#[") {
+                continue; // attribute, e.g. #[allow(...)] listing names
+            }
+            if let Some(pos) = ALLOW_UNWRAP
+                .iter()
+                .position(|(path, needle, _)| file.rel_path.ends_with(path) && raw.contains(needle))
+            {
+                allow_hits[pos] = true;
+                continue;
+            }
+            violations.push(Violation {
+                rule: "no-unwrap-expect",
+                file: file.rel_path.clone(),
+                line: lineno,
+                message: "library code must not unwrap()/expect(); return an error \
+                          (or allowlist with a reason in crates/check)"
+                    .into(),
+            });
+        }
+    }
+    for (hit, (path, needle, _)) in allow_hits.iter().zip(ALLOW_UNWRAP) {
+        if !hit {
+            violations.push(Violation {
+                rule: "no-unwrap-expect",
+                file: "crates/check/src/lint.rs".into(),
+                line: 0,
+                message: format!("stale allowlist entry ({path}, {needle:?}) matches nothing"),
+            });
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------- rule 4
+
+/// Whether this (file, fn) pair is cache-key code: the two key modules in
+/// full, plus any key-derivation function body anywhere in the engine.
+fn rule_cache_key_purity(sources: &[SourceFile]) -> Vec<Violation> {
+    const KEY_FNS: &[&str] = &[
+        "cache_params",
+        "cache_params_with_budget",
+        "chain_key",
+        "stage_key",
+        "graph_fingerprint",
+        "matrix_fingerprint",
+    ];
+    let mut violations = Vec::new();
+    for file in sources {
+        if file.crate_name() != "engine" {
+            continue;
+        }
+        let whole_file = file.rel_path.ends_with("engine/src/fingerprint.rs")
+            || file.rel_path.ends_with("engine/src/cache.rs");
+        // Mark lines inside key-derivation fn bodies via brace tracking.
+        let lines: Vec<&str> = file
+            .code_lines
+            .iter()
+            .take(file.test_start)
+            .map(String::as_str)
+            .collect();
+        let mut in_key_fn = vec![false; lines.len()];
+        let mut i = 0;
+        while i < lines.len() {
+            let t = lines[i].trim_start();
+            let is_key_fn = ["pub fn ", "fn ", "pub(crate) fn "].iter().any(|prefix| {
+                t.strip_prefix(prefix).is_some_and(|rest| {
+                    let name: String = rest
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    KEY_FNS.contains(&name.as_str())
+                })
+            });
+            if !is_key_fn {
+                i += 1;
+                continue;
+            }
+            let mut depth = 0isize;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                in_key_fn[j] = true;
+                depth += lines[j].matches('{').count() as isize;
+                depth -= lines[j].matches('}').count() as isize;
+                if lines[j].contains('{') {
+                    opened = true;
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        }
+        for (idx, line) in lines.iter().enumerate() {
+            if !(whole_file || in_key_fn[idx]) {
+                continue;
+            }
+            for (token, why) in CACHE_KEY_BANNED {
+                if line.contains(token) {
+                    violations.push(Violation {
+                        rule: "cache-key-purity",
+                        file: file.rel_path.clone(),
+                        line: idx + 1,
+                        message: format!("`{token}` in cache-key/fingerprint code: {why}"),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_blanks_comments_and_strings_but_keeps_layout() {
+        let src = "let x = \"unwrap() inside\"; // .unwrap() comment\nlet y = 1; /* multi\nline */ z();\n";
+        let out = strip_comments_and_strings(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("let x = \""));
+        assert!(out.contains("z();"));
+    }
+
+    #[test]
+    fn string_literal_extraction_finds_metric_names() {
+        let lits = string_literals("counter(\"spgemm.calls\") + \"x\"");
+        assert_eq!(lits.len(), 2);
+        assert_eq!(lits[0].1, "spgemm.calls");
+        assert!(looks_like_metric_name("spgemm.calls"));
+        assert!(!looks_like_metric_name("sym.{}"));
+        assert!(!looks_like_metric_name("stage.cluster"));
+        assert!(!looks_like_metric_name("sym.Txt"));
+    }
+
+    #[test]
+    fn this_repository_is_lint_clean() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let violations = run(&root).expect("lint run succeeds");
+        assert!(
+            violations.is_empty(),
+            "lint violations:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn design_taxonomy_and_gate_keys_are_consistent() {
+        let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let design = design_metric_names(&root).unwrap();
+        assert!(design.contains("spgemm.flops"), "{design:?}");
+        assert!(design.contains("spgemm.sched_steals"));
+        let keys = bench_gate_keys(&root).unwrap();
+        assert!(keys.iter().any(|(_, k)| k == "spgemm.syrk_calls"));
+        // The scheduling-dependent steal counter must stay un-gated.
+        assert!(!keys.iter().any(|(_, k)| k == "spgemm.sched_steals"));
+    }
+
+    #[test]
+    fn pub_fn_collection_joins_multiline_signatures() {
+        let file = SourceFile {
+            rel_path: "crates/sparse/src/x.rs".into(),
+            raw_lines: vec![
+                "pub fn spgemm_fancy(".into(),
+                "    a: &CsrMatrix,".into(),
+                "    token: &CancelToken,".into(),
+                ") -> Result<CsrMatrix> {".into(),
+            ],
+            code_lines: vec![
+                "pub fn spgemm_fancy(".into(),
+                "    a: &CsrMatrix,".into(),
+                "    token: &CancelToken,".into(),
+                ") -> Result<CsrMatrix> {".into(),
+            ],
+            test_start: usize::MAX,
+        };
+        let fns = collect_pub_fns(&file);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "spgemm_fancy");
+        assert!(fns[0].signature.contains("CancelToken"));
+    }
+
+    #[test]
+    fn missing_token_on_kernel_is_flagged() {
+        let file = SourceFile {
+            rel_path: "crates/sparse/src/x.rs".into(),
+            raw_lines: vec!["pub fn spgemm_rogue(a: &CsrMatrix) -> CsrMatrix {".into()],
+            code_lines: vec!["pub fn spgemm_rogue(a: &CsrMatrix) -> CsrMatrix {".into()],
+            test_start: usize::MAX,
+        };
+        let violations = rule_kernel_cancel_token(std::slice::from_ref(&file));
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("spgemm_rogue")),
+            "{violations:?}"
+        );
+    }
+}

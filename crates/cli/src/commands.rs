@@ -322,6 +322,7 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
         spgemm_threads: args.get::<usize>("sym-threads")?,
         journal: args.optional("resume").map(std::path::PathBuf::from),
         metrics: None,
+        paranoid: args.get_or("paranoid", false)?,
     };
     let quiet: bool = args.get_or("quiet", false)?;
 
@@ -655,6 +656,74 @@ mod tests {
         assert!(num("wall_secs") > 0.0);
         // MCL counters from the mlrmcl chains.
         assert_eq!(num("counter.mcl.runs"), 4.0);
+    }
+
+    #[test]
+    fn paranoid_validation_is_pure_observation() {
+        // DESIGN.md §13: `--paranoid` re-validates every symmetrize/prune
+        // output but must not observably change the run — zero new
+        // metrics keys (so BENCH_pipeline.json and the bench baseline are
+        // untouched) and bit-identical deterministic counters.
+        let run = |paranoid: bool, out: &str| {
+            let mut flat: Vec<String> = [
+                "--model",
+                "dsbm",
+                "--nodes",
+                "200",
+                "--clusters",
+                "4",
+                "--clusterers",
+                "metis",
+                "--quiet",
+                "--metrics-out",
+                out,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            if paranoid {
+                flat.push("--paranoid".to_string());
+            }
+            pipeline(&ParsedArgs::parse(&flat).unwrap()).unwrap();
+        };
+        let plain_out = tmp("metrics_plain.json");
+        let paranoid_out = tmp("metrics_paranoid.json");
+        run(false, &plain_out);
+        run(true, &paranoid_out);
+        let parse = |path: &str| {
+            symclust_engine::json::parse_object(&std::fs::read_to_string(path).unwrap()).unwrap()
+        };
+        let plain = parse(&plain_out);
+        let paranoid = parse(&paranoid_out);
+
+        let keys = |m: &std::collections::HashMap<String, symclust_engine::json::JsonValue>| {
+            let mut k: Vec<String> = m.keys().cloned().collect();
+            k.sort();
+            k
+        };
+        assert_eq!(
+            keys(&plain),
+            keys(&paranoid),
+            "--paranoid changed the metrics key set"
+        );
+
+        // Scheduling-dependent counters vary run to run with or without
+        // the flag (same exclusions as the bench gate's exact-match set).
+        const SCHEDULING_DEPENDENT: &[&str] = &[
+            "counter.spgemm.sched_steals",
+            "counter.engine.inflight_dedups",
+            "counter.engine.queue_depth_hwm",
+        ];
+        for (key, value) in &plain {
+            if !key.starts_with("counter.") || SCHEDULING_DEPENDENT.contains(&key.as_str()) {
+                continue;
+            }
+            assert_eq!(
+                value.as_f64(),
+                paranoid[key].as_f64(),
+                "counter {key} differs under --paranoid"
+            );
+        }
     }
 
     #[test]

@@ -87,7 +87,7 @@ SUBCOMMANDS:
               [--threads N] [--sym-threads N] [--timeout-secs S] [--retries N]
               [--memory-budget ENTRIES] [--resume JOURNAL.jsonl]
               [--events FILE] [--records FILE] [--quiet]
-              [--metrics] [--metrics-out FILE.json]
+              [--metrics] [--metrics-out FILE.json] [--paranoid]
   eval        score a clustering against ground truth
               --clusters FILE --truth FILE
   nibble      local cluster around one node (PageRank-Nibble)

@@ -48,6 +48,7 @@ use symclust_graph::UnGraph;
 
 /// Error type for clustering operations.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ClusterError {
     /// Underlying sparse-matrix failure.
     Sparse(symclust_sparse::SparseError),

@@ -47,6 +47,7 @@ use symclust_graph::DiGraph;
 
 /// Error type for symmetrization operations.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum SymmetrizeError {
     /// Underlying sparse-matrix failure.
     Sparse(symclust_sparse::SparseError),

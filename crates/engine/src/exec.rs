@@ -177,6 +177,17 @@ pub struct EngineOptions {
     /// [`SweepResult::metrics`]); passing a shared registry accumulates
     /// counters across sweeps, mirroring how the artifact cache persists.
     pub metrics: Option<MetricsRegistry>,
+    /// Run the CSR structural validators
+    /// ([`CsrMatrix::validate_symmetric`]) on every symmetrize and prune
+    /// output, failing the stage with a corruption error instead of
+    /// letting a malformed matrix poison downstream clustering. Debug
+    /// builds always validate; this flag extends the checks to release
+    /// builds (`--paranoid` on the CLI). Validation is pure observation —
+    /// it never touches metrics or cache keys, so a paranoid run produces
+    /// byte-identical artifacts and counters.
+    ///
+    /// [`CsrMatrix::validate_symmetric`]: symclust_sparse::CsrMatrix::validate_symmetric
+    pub paranoid: bool,
 }
 
 impl EngineOptions {
@@ -251,6 +262,15 @@ struct ExecCtx<'a> {
     memory_budget: Option<usize>,
     spgemm_threads: Option<usize>,
     metrics: &'a MetricsRegistry,
+    paranoid: bool,
+}
+
+impl ExecCtx<'_> {
+    /// Whether stage outputs get the full structural validation pass:
+    /// always in debug builds, on request (`--paranoid`) in release.
+    fn validate_outputs(&self) -> bool {
+        self.paranoid || cfg!(debug_assertions)
+    }
 }
 
 /// Per-stage cancellation tokens for nodes currently in flight, keyed by
@@ -353,6 +373,7 @@ impl Engine {
             memory_budget: self.opts.memory_budget,
             spgemm_threads: self.opts.spgemm_threads,
             metrics: &registry,
+            paranoid: self.opts.paranoid,
         };
 
         let mut indeg = plan.indegrees();
@@ -835,13 +856,23 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
             // injected panic also exercises the cache's in-flight guard.
             match ctx.cache.get_or_compute(key, || {
                 fire_fault(&fault).map_err(SymmetrizeError::InvalidConfig)?;
-                method.symmetrize_observed_configured(
+                let sym = method.symmetrize_observed_configured(
                     &ctx.input.graph,
                     token,
                     budget,
                     ctx.spgemm_threads,
                     Some(ctx.metrics),
-                )
+                )?;
+                // Structural + exact-symmetry validation at the kernel
+                // boundary (DESIGN.md §13). Exact symmetry is the contract
+                // here: the SYRK mirror pass and the commutative additive
+                // combines both produce bit-identical (i,j)/(j,i) pairs.
+                if ctx.validate_outputs() {
+                    sym.adjacency()
+                        .validate_symmetric()
+                        .map_err(SymmetrizeError::Sparse)?;
+                }
+                Ok::<_, SymmetrizeError>(sym)
             }) {
                 Ok((sym, hit)) => {
                     if hit {
@@ -886,6 +917,12 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
                 fire_fault(&fault)?;
                 let edges_in = sym.adjacency().nnz();
                 let (pruned, _dropped) = ops::prune(sym.adjacency(), threshold);
+                // Pruning thresholds on the value, and mirrored entries
+                // carry bit-equal values, so symmetry must survive; a
+                // violation here is a prune-kernel bug (DESIGN.md §13).
+                if ctx.validate_outputs() {
+                    pruned.validate_symmetric().map_err(|e| e.to_string())?;
+                }
                 let edges_out = pruned.nnz();
                 ctx.metrics
                     .counter(metric_names::PRUNE_EDGES_IN)

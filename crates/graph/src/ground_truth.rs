@@ -23,14 +23,12 @@ impl GroundTruth {
         for (i, cat) in categories.iter_mut().enumerate() {
             cat.sort_unstable();
             cat.dedup();
-            if cat.is_empty() {
+            let Some(&last) = cat.last() else {
                 return Err(GraphError::Invalid(format!("category {i} is empty")));
-            }
-            if *cat.last().unwrap() as usize >= n_nodes {
+            };
+            if last as usize >= n_nodes {
                 return Err(GraphError::Invalid(format!(
-                    "category {i} references node {} >= n_nodes {}",
-                    cat.last().unwrap(),
-                    n_nodes
+                    "category {i} references node {last} >= n_nodes {n_nodes}"
                 )));
             }
         }

@@ -66,6 +66,20 @@ pub fn read_edge_list_with<R: Read>(reader: R, opts: &EdgeListOptions) -> Result
             .ok_or_else(|| GraphError::Invalid(format!("line {lineno}: missing target")))?
             .parse()
             .map_err(|e| GraphError::Invalid(format!("line {lineno}: bad target: {e}")))?;
+        // Node ids become u32 CSR column indices downstream; an id at or
+        // above u32::MAX would wrap silently in the matrix layer, so
+        // reject it here with the offending line.
+        const MAX_NODE_ID: usize = u32::MAX as usize - 1;
+        for (what, id) in [("source", u), ("target", v)] {
+            if id > MAX_NODE_ID {
+                return Err(GraphError::BadEdge {
+                    line: lineno,
+                    reason: format!(
+                        "{what} node id {id} exceeds the u32 node-index limit ({MAX_NODE_ID})"
+                    ),
+                });
+            }
+        }
         let w: f64 = match parts.next() {
             Some(s) => s
                 .parse()
@@ -195,6 +209,34 @@ mod tests {
         let err =
             read_edge_list_with("0 1 -1\n".as_bytes(), &EdgeListOptions::permissive()).unwrap_err();
         assert_eq!(bad_edge_line(err), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_node_ids_with_line_number() {
+        // Node ids must fit u32 CSR column indices; anything at or above
+        // u32::MAX would wrap in the matrix layer.
+        let huge = u32::MAX as u64;
+        for (input, line) in [
+            (format!("0 1\n{huge} 2\n"), 2),
+            (format!("# header\n0 1\n1 {}\n", u64::MAX), 3),
+        ] {
+            let err = read_edge_list(input.as_bytes()).unwrap_err();
+            assert_eq!(bad_edge_line(err), line, "input {input:?}");
+        }
+        // The permissive policy does not relax the id bound.
+        let err = read_edge_list_with(
+            format!("{huge} 0\n").as_bytes(),
+            &EdgeListOptions::permissive(),
+        )
+        .unwrap_err();
+        match err {
+            GraphError::BadEdge { line, ref reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("node id"), "reason: {reason}");
+                assert!(reason.contains("limit"), "reason: {reason}");
+            }
+            other => panic!("expected BadEdge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub use ungraph::UnGraph;
 
 /// Error type for graph construction and I/O.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum GraphError {
     /// Underlying sparse-matrix error.
     Sparse(symclust_sparse::SparseError),

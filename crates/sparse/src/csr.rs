@@ -66,50 +66,8 @@ impl CsrMatrix {
         indices: Vec<u32>,
         values: Vec<f64>,
     ) -> Result<Self> {
-        if indptr.len() != n_rows + 1 {
-            return Err(SparseError::InvalidStructure(format!(
-                "indptr length {} != n_rows + 1 = {}",
-                indptr.len(),
-                n_rows + 1
-            )));
-        }
-        if indptr[0] != 0 {
-            return Err(SparseError::InvalidStructure(
-                "indptr[0] must be 0".to_string(),
-            ));
-        }
-        if *indptr.last().unwrap() != indices.len() || indices.len() != values.len() {
-            return Err(SparseError::InvalidStructure(format!(
-                "indptr end {} vs indices {} vs values {}",
-                indptr.last().unwrap(),
-                indices.len(),
-                values.len()
-            )));
-        }
-        for w in indptr.windows(2) {
-            if w[1] < w[0] {
-                return Err(SparseError::InvalidStructure(
-                    "indptr must be non-decreasing".to_string(),
-                ));
-            }
-        }
-        for row in 0..n_rows {
-            let cols = &indices[indptr[row]..indptr[row + 1]];
-            for pair in cols.windows(2) {
-                if pair[1] <= pair[0] {
-                    return Err(SparseError::InvalidStructure(format!(
-                        "row {row} has unsorted or duplicate column indices"
-                    )));
-                }
-            }
-            if let Some(&last) = cols.last() {
-                if last as usize >= n_cols {
-                    return Err(SparseError::InvalidStructure(format!(
-                        "row {row} has column index {last} >= n_cols {n_cols}"
-                    )));
-                }
-            }
-        }
+        validate_parts(n_rows, n_cols, &indptr, &indices, &values)
+            .map_err(|(_, detail)| SparseError::InvalidStructure(detail))?;
         Ok(CsrMatrix {
             n_rows,
             n_cols,
@@ -141,16 +99,88 @@ impl CsrMatrix {
         m
     }
 
-    /// Re-checks all structural invariants; used by tests and debug builds.
+    /// Re-checks all structural invariants plus value finiteness, without
+    /// copying any array. A failure means the matrix was corrupted *after*
+    /// construction (or built through an unchecked fast path by a buggy
+    /// kernel), so errors surface as [`SparseError::Corrupted`] naming the
+    /// violated invariant and the offending row/column.
+    ///
+    /// Negative values are legal here — spectral code stores Laplacians
+    /// with negative off-diagonals. Graph adjacency and similarity outputs
+    /// should use [`CsrMatrix::validate_graph`] or
+    /// [`CsrMatrix::validate_symmetric`], which are strictly stronger.
     pub fn validate(&self) -> Result<()> {
-        CsrMatrix::from_raw_parts(
+        validate_parts(
             self.n_rows,
             self.n_cols,
-            self.indptr.clone(),
-            self.indices.clone(),
-            self.values.clone(),
+            &self.indptr,
+            &self.indices,
+            &self.values,
         )
-        .map(|_| ())
+        .map_err(|(check, detail)| SparseError::Corrupted { check, detail })
+    }
+
+    /// [`validate`](Self::validate) plus the edge-weight contract of every
+    /// graph in the pipeline: all stored values non-negative (a negative
+    /// similarity or adjacency weight corrupts every downstream degree,
+    /// stationary distribution, and normalized cut).
+    pub fn validate_graph(&self) -> Result<()> {
+        self.validate()?;
+        for row in 0..self.n_rows {
+            for (col, v) in self.row_iter(row) {
+                if v < 0.0 {
+                    return Err(SparseError::Corrupted {
+                        check: "nonnegative",
+                        detail: format!("row {row} col {col} has negative weight {v}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`validate_graph`](Self::validate_graph) plus *exact* symmetry: the
+    /// structure must equal its transpose and mirrored values must be
+    /// bit-identical. This is the contract of every symmetrization output —
+    /// in particular the SYRK kernels' mirror pass (DESIGN.md §12), which
+    /// copies upper-triangle values into the lower triangle rather than
+    /// recomputing them, so even one ULP of asymmetry indicates a kernel
+    /// bug or corruption rather than rounding.
+    pub fn validate_symmetric(&self) -> Result<()> {
+        self.validate_graph()?;
+        if self.n_rows != self.n_cols {
+            return Err(SparseError::Corrupted {
+                check: "symmetry",
+                detail: format!("matrix is {}x{}, not square", self.n_rows, self.n_cols),
+            });
+        }
+        let t = crate::ops::transpose(self);
+        for row in 0..self.n_rows {
+            let (a, b) = (self.row_indices(row), t.row_indices(row));
+            if a != b {
+                return Err(SparseError::Corrupted {
+                    check: "symmetry",
+                    detail: format!(
+                        "row {row} structure differs from its transpose \
+                         ({} vs {} entries or mismatched columns)",
+                        a.len(),
+                        b.len()
+                    ),
+                });
+            }
+            for ((col, v), w) in self.row_iter(row).zip(t.row_values(row)) {
+                if v.to_bits() != w.to_bits() {
+                    return Err(SparseError::Corrupted {
+                        check: "symmetry",
+                        detail: format!(
+                            "entry ({row}, {col}) = {v:?} is not bit-identical \
+                             to its mirror ({col}, {row}) = {w:?}"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Builds a matrix from a dense row-major slice, skipping zeros.
@@ -405,6 +435,91 @@ impl CsrMatrix {
     }
 }
 
+/// Checks the CSR invariants over borrowed components, with no allocation:
+/// indptr shape and monotonicity, strictly increasing in-bounds column
+/// indices per row, matching array lengths, and finite values. Returns
+/// `(check, detail)` on failure so callers can wrap it as a construction
+/// error ([`SparseError::InvalidStructure`]) or a post-construction one
+/// ([`SparseError::Corrupted`]).
+///
+/// This is the single implementation behind [`CsrMatrix::from_raw_parts`]
+/// and [`CsrMatrix::validate`]; it is public so tests can probe corrupted
+/// raw arrays directly (constructing a corrupt `CsrMatrix` instance would
+/// trip the unchecked builder's `debug_assert!` first).
+pub fn validate_parts(
+    n_rows: usize,
+    n_cols: usize,
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f64],
+) -> std::result::Result<(), (&'static str, String)> {
+    if indptr.len() != n_rows + 1 {
+        return Err((
+            "indptr",
+            format!(
+                "indptr length {} != n_rows + 1 = {}",
+                indptr.len(),
+                n_rows + 1
+            ),
+        ));
+    }
+    if indptr[0] != 0 {
+        return Err(("indptr", "indptr[0] must be 0".to_string()));
+    }
+    if indptr[n_rows] != indices.len() || indices.len() != values.len() {
+        return Err((
+            "indptr",
+            format!(
+                "indptr end {} vs indices {} vs values {}",
+                indptr[n_rows],
+                indices.len(),
+                values.len()
+            ),
+        ));
+    }
+    for (row, w) in indptr.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return Err((
+                "indptr",
+                format!("indptr decreases at row {row}: {} -> {}", w[0], w[1]),
+            ));
+        }
+    }
+    for row in 0..n_rows {
+        let cols = &indices[indptr[row]..indptr[row + 1]];
+        for pair in cols.windows(2) {
+            if pair[1] <= pair[0] {
+                return Err((
+                    "columns",
+                    format!(
+                        "row {row} has unsorted or duplicate column indices \
+                         ({} then {})",
+                        pair[0], pair[1]
+                    ),
+                ));
+            }
+        }
+        if let Some(&last) = cols.last() {
+            if last as usize >= n_cols {
+                return Err((
+                    "bounds",
+                    format!("row {row} has column index {last} >= n_cols {n_cols}"),
+                ));
+            }
+        }
+        let vals = &values[indptr[row]..indptr[row + 1]];
+        for (k, v) in vals.iter().enumerate() {
+            if !v.is_finite() {
+                return Err((
+                    "value",
+                    format!("row {row} col {} has non-finite value {v}", cols[k]),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +650,108 @@ mod tests {
         assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // values/indices length mismatch
         assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 1], vec![0], vec![]).is_err());
+        // non-finite value
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![0], vec![f64::NAN]).is_err());
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![0], vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn validate_parts_names_the_violated_invariant() {
+        let (check, detail) = validate_parts(2, 2, &[0, 2, 1], &[0], &[1.0]).unwrap_err();
+        assert_eq!(check, "indptr");
+        assert!(detail.contains("decreases"), "{detail}");
+        let (check, detail) = validate_parts(1, 3, &[0, 2], &[2, 0], &[1.0, 1.0]).unwrap_err();
+        assert_eq!(check, "columns");
+        assert!(detail.contains("row 0"), "{detail}");
+        let (check, detail) = validate_parts(1, 3, &[0, 2], &[1, 1], &[1.0, 1.0]).unwrap_err();
+        assert_eq!(check, "columns");
+        assert!(
+            detail.contains("duplicate") || detail.contains("unsorted"),
+            "{detail}"
+        );
+        let (check, _) = validate_parts(1, 2, &[0, 1], &[5], &[1.0]).unwrap_err();
+        assert_eq!(check, "bounds");
+        let (check, detail) = validate_parts(1, 2, &[0, 1], &[1], &[f64::NAN]).unwrap_err();
+        assert_eq!(check, "value");
+        assert!(detail.contains("NaN"), "{detail}");
+    }
+
+    #[test]
+    fn validate_detects_post_construction_nan_corruption() {
+        let mut m = sample();
+        m.validate().unwrap();
+        m.values_mut()[1] = f64::NAN;
+        let err = m.validate().unwrap_err();
+        match err {
+            SparseError::Corrupted { check, ref detail } => {
+                assert_eq!(check, "value");
+                assert!(detail.contains("row 0"), "{detail}");
+            }
+            other => panic!("expected Corrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_graph_rejects_negative_weights_but_validate_allows_them() {
+        // Laplacian-style matrix: negative off-diagonals are structurally
+        // valid, just not a graph.
+        let l = CsrMatrix::from_dense(&[vec![2.0, -1.0], vec![-1.0, 2.0]]);
+        l.validate().unwrap();
+        let err = l.validate_graph().unwrap_err();
+        match err {
+            SparseError::Corrupted { check, ref detail } => {
+                assert_eq!(check, "nonnegative");
+                assert!(detail.contains("-1"), "{detail}");
+            }
+            other => panic!("expected Corrupted, got {other:?}"),
+        }
+        l.validate_symmetric().unwrap_err();
+    }
+
+    #[test]
+    fn validate_symmetric_requires_bit_identical_mirrors() {
+        let mut s = CsrMatrix::from_dense(&[vec![0.0, 2.0], vec![2.0, 1.0]]);
+        s.validate_symmetric().unwrap();
+        // One ULP of asymmetry is corruption under the SYRK mirror
+        // contract, even though is_symmetric() would tolerate it.
+        s.values_mut()[0] = f64::from_bits(2.0f64.to_bits() + 1);
+        assert!(s.is_symmetric(1e-9));
+        let err = s.validate_symmetric().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SparseError::Corrupted {
+                    check: "symmetry",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Structural asymmetry is reported too.
+        let a = sample();
+        let err = a.validate_symmetric().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SparseError::Corrupted {
+                    check: "symmetry",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        // Non-square matrices cannot be symmetric.
+        let err = CsrMatrix::zeros(2, 3).validate_symmetric().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SparseError::Corrupted {
+                    check: "symmetry",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by sparse-matrix construction and arithmetic.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SparseError {
     /// Matrix dimensions are incompatible for the requested operation.
     DimensionMismatch {
@@ -36,6 +37,20 @@ pub enum SparseError {
     /// can handle it like any other stage failure instead of unwinding
     /// through the whole process.
     WorkerPanic(String),
+    /// A matrix that was *already constructed* (and therefore passed the
+    /// construction-time checks, or was built through an unchecked fast
+    /// path) violates an invariant it is supposed to uphold. Raised by the
+    /// [`CsrMatrix::validate`](crate::CsrMatrix::validate) family at
+    /// SpGEMM/symmetrize/prune boundaries — under `debug_assertions` and
+    /// the engine's `--paranoid` mode — to catch kernel bugs and memory
+    /// corruption before they poison downstream clustering results.
+    Corrupted {
+        /// The invariant that failed: `"indptr"`, `"columns"`, `"bounds"`,
+        /// `"value"`, `"nonnegative"`, or `"symmetry"`.
+        check: &'static str,
+        /// Where and how it failed, with row/column coordinates.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -53,6 +68,9 @@ impl fmt::Display for SparseError {
             SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             SparseError::Cancelled => write!(f, "operation cancelled"),
             SparseError::WorkerPanic(msg) => write!(f, "kernel worker panicked: {msg}"),
+            SparseError::Corrupted { check, detail } => {
+                write!(f, "corrupted matrix ({check} invariant): {detail}")
+            }
         }
     }
 }
@@ -87,6 +105,15 @@ mod tests {
 
         let e = SparseError::InvalidArgument("k must be positive".into());
         assert!(e.to_string().contains("k must be positive"));
+
+        let e = SparseError::Corrupted {
+            check: "value",
+            detail: "row 3 col 7 is NaN".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("corrupted"));
+        assert!(s.contains("value"));
+        assert!(s.contains("row 3 col 7"));
     }
 
     #[test]

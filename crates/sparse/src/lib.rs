@@ -41,7 +41,7 @@ pub mod syrk;
 
 pub use cancel::CancelToken;
 pub use coo::CooMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{validate_parts, CsrMatrix};
 pub use error::SparseError;
 pub use lanczos::{
     lanczos_smallest, lanczos_smallest_cancellable, tridiagonal_eigen, LanczosOptions,

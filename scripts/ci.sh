@@ -10,10 +10,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy build test fault debug-assertions threads-matrix bench)
+ALL_STAGES=(fmt clippy check build test fault debug-assertions threads-matrix bench)
 
 stage_fmt() { cargo fmt --all -- --check; }
 stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
+# Repo-invariant lint rules + exhaustive scheduler model check
+# (DESIGN.md §13). Runs first among the heavy stages: it needs only the
+# dependency-free symclust-check crate, so contract violations fail fast.
+stage_check() {
+  cargo run -q -p symclust-check -- lint
+  cargo run -q -p symclust-check -- sched-model
+}
 stage_build() { cargo build --release; }
 # One workspace pass covers the tier-1 crates too; the old separate
 # `cargo test -q` stage was a strict subset of this one.
