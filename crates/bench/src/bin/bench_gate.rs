@@ -1,9 +1,10 @@
 //! Bench regression gate CLI.
 //!
 //! ```text
-//! bench_gate emit       <metrics.json>  <BENCH_pipeline.json>
-//! bench_gate check      <baseline.json> <current.json> [wall-tolerance]
-//! bench_gate syrk-check <graph.txt>
+//! bench_gate emit        <metrics.json>  <BENCH_pipeline.json>
+//! bench_gate check       <baseline.json> <current.json> [wall-tolerance]
+//! bench_gate syrk-check  <graph.txt>
+//! bench_gate serve-check <graph.txt>
 //! ```
 //!
 //! `emit` converts a `symclust pipeline --metrics-out` file into the
@@ -14,7 +15,12 @@
 //! through both the general kernel and the fused symmetric (SYRK)
 //! kernel and fails unless the SYRK flop count is strictly below the
 //! general one while the outputs stay bit-identical — the CI lock on
-//! the symmetric kernel's speedup.
+//! the symmetric kernel's speedup. `serve-check` is the same kind of
+//! lock for the artifact store: a cold Bibliometric symmetrization is
+//! published to a scratch disk store, then replayed through a fresh
+//! in-memory tier (a simulated daemon restart); the replay must be
+//! served from disk, run zero SpGEMM calls, return the bit-identical
+//! matrix, and finish strictly faster than the cold compute.
 
 use symclust_bench::gate;
 use symclust_obs::MetricsRegistry;
@@ -82,7 +88,15 @@ fn run() -> Result<(), String> {
             };
             syrk_check(graph_path)
         }
-        _ => Err("usage: bench_gate emit|check|syrk-check ... (see --help in source)".into()),
+        Some("serve-check") => {
+            let [_, graph_path] = args.as_slice() else {
+                return Err("usage: bench_gate serve-check <graph.txt>".into());
+            };
+            serve_check(graph_path)
+        }
+        _ => Err(
+            "usage: bench_gate emit|check|syrk-check|serve-check ... (see --help in source)".into(),
+        ),
     }
 }
 
@@ -137,6 +151,113 @@ fn syrk_check(graph_path: &str) -> Result<(), String> {
          ({:.1}% saved), output identical ({} nnz)",
         100.0 * (gflops - sflops) as f64 / gflops as f64,
         fused.nnz()
+    );
+    Ok(())
+}
+
+/// Cold-computes a Bibliometric symmetrization into a scratch disk store,
+/// then replays it through a fresh memory tier over the same store and
+/// fails unless the replay is a disk hit that runs no SpGEMM, returns the
+/// identical matrix, and is strictly faster than the cold compute.
+fn serve_check(graph_path: &str) -> Result<(), String> {
+    let g = symclust_graph::io::read_edge_list_file(graph_path)
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let fp = symclust_engine::fingerprint::graph_fingerprint(&g);
+    let method = symclust_engine::SymMethod::Bibliometric { threshold: 0.0 };
+    let token = symclust_sparse::CancelToken::new();
+    let dir = std::env::temp_dir().join(format!("symclust_serve_gate_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let result = serve_check_in(&g, fp, &method, &token, &dir, graph_path);
+    std::fs::remove_dir_all(&dir).ok();
+    result
+}
+
+fn serve_check_in(
+    g: &symclust_graph::DiGraph,
+    fp: u64,
+    method: &symclust_engine::SymMethod,
+    token: &symclust_sparse::CancelToken,
+    dir: &std::path::Path,
+    graph_path: &str,
+) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::Instant;
+    use symclust_store::{symmetrize_cached, DiskStore, StoreOptions, Tier, TieredCache};
+
+    let store = Arc::new(DiskStore::open(dir, StoreOptions::default()).map_err(|e| e.to_string())?);
+    let cache: TieredCache<symclust_sparse::CsrMatrix> = TieredCache::new(Arc::clone(&store));
+    let cold_metrics = MetricsRegistry::new();
+    let t0 = Instant::now();
+    let (cold, cold_tier, key) =
+        symmetrize_cached(&cache, g, fp, method, None, token, Some(&cold_metrics))
+            .map_err(|e| e.to_string())?;
+    let cold_wall = t0.elapsed();
+    if cold_tier != Tier::Computed {
+        return Err(format!(
+            "cold pass served from tier '{}' — the scratch store was not empty",
+            cold_tier.name()
+        ));
+    }
+    let cold_calls = cold_metrics
+        .snapshot()
+        .counter(metric_names::CALLS)
+        .unwrap_or(0);
+    if cold_calls == 0 {
+        return Err("cold Bibliometric pass ran zero SpGEMM calls".into());
+    }
+
+    // A fresh memory tier over the same directory is exactly what a
+    // restarted daemon sees. Best-of-3 keeps scheduler noise out of the
+    // strict latency comparison.
+    let mut hit_wall = None;
+    for _ in 0..3 {
+        let restarted =
+            Arc::new(DiskStore::open(dir, StoreOptions::default()).map_err(|e| e.to_string())?);
+        let replay: TieredCache<symclust_sparse::CsrMatrix> = TieredCache::new(restarted);
+        let hit_metrics = MetricsRegistry::new();
+        let t1 = Instant::now();
+        let (hit, hit_tier, hit_key) =
+            symmetrize_cached(&replay, g, fp, method, None, token, Some(&hit_metrics))
+                .map_err(|e| e.to_string())?;
+        let wall = t1.elapsed();
+        if hit_tier != Tier::Disk {
+            return Err(format!(
+                "replay served from tier '{}', expected a disk hit",
+                hit_tier.name()
+            ));
+        }
+        if hit_key != key {
+            return Err(format!(
+                "replay derived key {hit_key:016x}, cold pass derived {key:016x}"
+            ));
+        }
+        if *hit != *cold {
+            return Err("replayed matrix differs from the cold-computed one".into());
+        }
+        let hit_calls = hit_metrics
+            .snapshot()
+            .counter(metric_names::CALLS)
+            .unwrap_or(0);
+        if hit_calls != 0 {
+            return Err(format!("replay ran {hit_calls} SpGEMM call(s), expected 0"));
+        }
+        hit_wall = Some(hit_wall.map_or(wall, |best: std::time::Duration| best.min(wall)));
+    }
+    let hit_wall = hit_wall.expect("loop ran");
+    if hit_wall >= cold_wall {
+        return Err(format!(
+            "store hit took {:.3}ms, not strictly below the cold compute's {:.3}ms",
+            hit_wall.as_secs_f64() * 1e3,
+            cold_wall.as_secs_f64() * 1e3
+        ));
+    }
+    println!(
+        "serve gate OK: {graph_path}: disk hit {:.3}ms vs cold {:.3}ms \
+         ({:.1}x faster), 0 SpGEMM calls on replay, matrix identical ({} nnz)",
+        hit_wall.as_secs_f64() * 1e3,
+        cold_wall.as_secs_f64() * 1e3,
+        cold_wall.as_secs_f64() / hit_wall.as_secs_f64().max(1e-9),
+        cold.nnz()
     );
     Ok(())
 }

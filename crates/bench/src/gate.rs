@@ -33,6 +33,9 @@ pub const EXACT_KEYS: &[&str] = &[
     "counter.mcl.iterations",
     "counter.spgemm.syrk_calls",
     "counter.spgemm.syrk_mirrored_nnz",
+    "counter.store.hits",
+    "counter.store.misses",
+    "counter.store.quarantined",
 ];
 // NOT gated: `counter.spgemm.sched_steals` — the work-stealing scheduler's
 // steal count depends on thread count and machine load, so it is exactly

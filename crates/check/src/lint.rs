@@ -4,10 +4,10 @@
 //! *workspace contracts* that no generic tool knows about (DESIGN.md §13):
 //!
 //! 1. **kernel-cancel-token** — every public kernel entry point in
-//!    `sparse`/`core`/`cluster` (SpGEMM, symmetrizations, clusterers,
-//!    PageRank, Lanczos, nibble) must accept a `CancelToken`, or be on the
-//!    allowlist of deliberate convenience wrappers whose cancellable
-//!    sibling exists.
+//!    `sparse`/`core`/`cluster`/`store` (SpGEMM, symmetrizations,
+//!    clusterers, PageRank, Lanczos, nibble, cached-kernel wrappers) must
+//!    accept a `CancelToken`, or be on the allowlist of deliberate
+//!    convenience wrappers whose cancellable sibling exists.
 //! 2. **metric-name-taxonomy** — every metric name registered in source
 //!    (via `metric_names` constants or inline `.counter("…")`-style calls)
 //!    must appear in DESIGN.md §11, and every bench-gate `EXACT_KEYS`
@@ -18,12 +18,14 @@
 //!    library code; panics belong to callers, not kernels. Allowlisted:
 //!    mutex-lock expects (poisoning is fatal by design) and a handful of
 //!    structurally-infallible cases, each with a recorded reason.
-//! 4. **cache-key-purity** — the engine's cache-key/fingerprint code must
-//!    stay deterministic: no wall-clock reads and no thread counts may
-//!    flow into `fingerprint.rs`, `cache.rs`, or any `*cache_params*` /
-//!    `chain_key` / `stage_key` function body. (Thread count is excluded
-//!    from cache keys *on purpose* — kernels are bit-deterministic across
-//!    thread counts, DESIGN.md §12.)
+//! 4. **cache-key-purity** — cache-key/fingerprint code must stay
+//!    deterministic: no wall-clock reads and no thread counts may flow
+//!    into `fingerprint.rs`, `cache.rs`, or any `*cache_params*` /
+//!    `chain_key` / `stage_key` / `symmetrize_key` / `cluster_key`
+//!    function body, in the engine or the store (whose on-disk content
+//!    addresses are derived from the same keys). (Thread count is
+//!    excluded from cache keys *on purpose* — kernels are
+//!    bit-deterministic across thread counts, DESIGN.md §12.)
 //!
 //! The scanner is deliberately line-based over comment/string-stripped
 //! source (no syntax tree, zero dependencies): the rules only need
@@ -138,6 +140,14 @@ const ALLOW_NO_TOKEN: &[(&str, &str)] = &[
     (
         "rmcl_iterate",
         "single-iteration step; the cancellable driver loops over it",
+    ),
+    (
+        "symmetrize_key",
+        "pure key derivation over the graph fingerprint; no kernel work",
+    ),
+    (
+        "cluster_key",
+        "pure key derivation over the symmetrize key; no kernel work",
     ),
 ];
 
@@ -314,7 +324,9 @@ const KERNEL_NAME_PATTERNS: &[&str] = &[
 ];
 
 /// Metric-name prefixes governed by the taxonomy rule.
-const METRIC_PREFIXES: &[&str] = &["spgemm.", "prune.", "sym.", "mcl.", "engine."];
+const METRIC_PREFIXES: &[&str] = &[
+    "spgemm.", "prune.", "sym.", "mcl.", "engine.", "store.", "serve.",
+];
 
 /// Runs every rule over the workspace rooted at `root`. Returns the sorted
 /// violation list (empty = clean).
@@ -628,7 +640,7 @@ fn rule_kernel_cancel_token(sources: &[SourceFile]) -> Vec<Violation> {
     let mut violations = Vec::new();
     let mut allow_hits = vec![false; ALLOW_NO_TOKEN.len()];
     for file in sources {
-        if !matches!(file.crate_name(), "sparse" | "core" | "cluster") {
+        if !matches!(file.crate_name(), "sparse" | "core" | "cluster" | "store") {
             continue;
         }
         for f in collect_pub_fns(file) {
@@ -869,7 +881,8 @@ fn rule_no_unwrap_expect(sources: &[SourceFile]) -> Vec<Violation> {
 // ---------------------------------------------------------------- rule 4
 
 /// Whether this (file, fn) pair is cache-key code: the two key modules in
-/// full, plus any key-derivation function body anywhere in the engine.
+/// full, plus any key-derivation function body anywhere in the engine or
+/// the store (which derives on-disk content addresses from the same keys).
 fn rule_cache_key_purity(sources: &[SourceFile]) -> Vec<Violation> {
     const KEY_FNS: &[&str] = &[
         "cache_params",
@@ -878,10 +891,15 @@ fn rule_cache_key_purity(sources: &[SourceFile]) -> Vec<Violation> {
         "stage_key",
         "graph_fingerprint",
         "matrix_fingerprint",
+        "symmetrize_key",
+        "cluster_key",
     ];
     let mut violations = Vec::new();
     for file in sources {
-        if file.crate_name() != "engine" {
+        // The store derives the on-disk content addresses from the same
+        // key functions, so its key-derivation code is held to the same
+        // purity contract as the engine's.
+        if !matches!(file.crate_name(), "engine" | "store") {
             continue;
         }
         let whole_file = file.rel_path.ends_with("engine/src/fingerprint.rs")

@@ -2,6 +2,8 @@
 
 use crate::args::ParsedArgs;
 use crate::formats;
+use crate::protocol;
+use crate::server::{BindAddr, ServeOptions, Server};
 use symclust_cluster::{
     pagerank_nibble, pagerank_nibble_directed, ClusterAlgorithm, NibbleOptions, SpectralClustering,
 };
@@ -464,6 +466,142 @@ pub fn nibble(args: &ParsedArgs) -> CmdResult {
     Ok(())
 }
 
+/// `symclust serve`: run the clustering daemon until a `shutdown`
+/// request (or SIGKILL; the store recovers stale temp files on reopen).
+pub fn serve(args: &ParsedArgs) -> CmdResult {
+    let bind = match (args.optional("socket"), args.optional("tcp")) {
+        (Some(_), Some(_)) => return Err("--socket and --tcp are mutually exclusive".into()),
+        (None, Some(addr)) => BindAddr::Tcp(addr.to_string()),
+        (socket, None) => BindAddr::Unix(socket.unwrap_or("symclust.sock").into()),
+    };
+    let opts = ServeOptions {
+        bind,
+        store_dir: args.optional("store").unwrap_or(".symclust-store").into(),
+        workers: args.get_or("workers", 2usize)?,
+        queue_cap: args.get_or("queue-cap", 64usize)?,
+        default_timeout_ms: args.get::<u64>("timeout-ms")?,
+        store_budget_bytes: args.get::<u64>("store-budget-bytes")?,
+    };
+    let daemon = Server::start(opts)?;
+    // The ready line is what scripts wait for; flush past any pipe
+    // buffering before blocking in join.
+    println!("symclust serve: listening on {}", daemon.endpoint());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    daemon.join();
+    println!("symclust serve: shut down");
+    Ok(())
+}
+
+/// `symclust client`: send one request line to a running daemon and
+/// print the raw response line. Exits nonzero when the daemon answers
+/// with an error response.
+pub fn client(args: &ParsedArgs) -> CmdResult {
+    let line = match args.optional("json") {
+        Some(j) => j.to_string(),
+        None => build_request_line(args)?,
+    };
+    // Parse locally first so a typo fails with the protocol's own
+    // message instead of a daemon round-trip.
+    protocol::parse_request(&line).map_err(|e| format!("bad request: {e}"))?;
+    let response = match (args.optional("socket"), args.optional("tcp")) {
+        (Some(_), Some(_)) => return Err("--socket and --tcp are mutually exclusive".into()),
+        (None, Some(addr)) => {
+            let stream = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("connecting to {addr}: {e}"))?;
+            request_response(stream, &line)?
+        }
+        (socket, None) => {
+            let path = socket.unwrap_or("symclust.sock");
+            let stream = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("connecting to {path}: {e}"))?;
+            request_response(stream, &line)?
+        }
+    };
+    println!("{response}");
+    let fields = symclust_engine::json::parse_object(&response)
+        .map_err(|e| format!("unparseable response: {e}"))?;
+    if fields
+        .get("ok")
+        .and_then(symclust_engine::json::JsonValue::as_bool)
+        == Some(true)
+    {
+        Ok(())
+    } else {
+        Err(fields
+            .get("detail")
+            .and_then(symclust_engine::json::JsonValue::as_str)
+            .unwrap_or("server returned an error")
+            .to_string())
+    }
+}
+
+fn request_response<S: std::io::Read + std::io::Write>(
+    mut stream: S,
+    line: &str,
+) -> Result<String, String> {
+    use std::io::BufRead;
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut response = String::new();
+    std::io::BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let response = response.trim_end();
+    if response.is_empty() {
+        return Err("daemon closed the connection without responding".into());
+    }
+    Ok(response.to_string())
+}
+
+/// Builds a request line from `--op` plus op-specific flags (the
+/// flag-based alternative to passing `--json` verbatim).
+fn build_request_line(args: &ParsedArgs) -> Result<String, String> {
+    let op = args.required("op")?;
+    let mut obj = symclust_engine::json::JsonObject::new();
+    obj.string("op", op);
+    if let Some(id) = args.optional("id") {
+        obj.string("id", id);
+    }
+    if let Some(t) = args.get::<u64>("timeout-ms")? {
+        obj.number("timeout-ms", t as f64);
+    }
+    match op {
+        "upload-graph" => {
+            let path = args.required("edges-file")?;
+            let edges =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            obj.string("edges", &edges);
+        }
+        "symmetrize" | "cluster" => {
+            obj.string("graph", args.required("graph")?);
+            obj.string("method", args.optional("method").unwrap_or("aat"));
+            for key in ["alpha", "beta", "threshold", "inflation"] {
+                if let Some(v) = args.get::<f64>(key)? {
+                    obj.number(key, v);
+                }
+            }
+            for key in ["budget", "k"] {
+                if let Some(v) = args.get::<u64>(key)? {
+                    obj.number(key, v as f64);
+                }
+            }
+            if op == "cluster" {
+                obj.string("algo", args.optional("algo").unwrap_or("mlrmcl"));
+            }
+        }
+        "query-membership" => {
+            obj.string("key", args.required("key")?);
+            obj.number("node", args.get_or("node", 0usize)? as f64);
+        }
+        "stats" | "shutdown" => {}
+        other => return Err(format!("unknown op '{other}' for --op")),
+    }
+    Ok(obj.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -855,5 +993,53 @@ mod tests {
             ("output", &edges),
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn serve_and_client_subcommands_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("symclust_cli_serve_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("sock").to_string_lossy().into_owned();
+        let store = dir.join("store").to_string_lossy().into_owned();
+        let edges = dir.join("edges.txt").to_string_lossy().into_owned();
+        std::fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+
+        let daemon = {
+            let sock = sock.clone();
+            let store = store.clone();
+            std::thread::spawn(move || serve(&args(&[("socket", &sock), ("store", &store)])))
+        };
+        // Wait for the socket to come up.
+        for _ in 0..200 {
+            if std::os::unix::net::UnixStream::connect(&sock).is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        client(&args(&[
+            ("socket", &sock),
+            ("op", "upload-graph"),
+            ("edges-file", &edges),
+        ]))
+        .unwrap();
+        client(&args(&[("socket", &sock), ("op", "stats")])).unwrap();
+        // A daemon-side error response makes the client exit nonzero.
+        let err = client(&args(&[
+            ("socket", &sock),
+            (
+                "json",
+                r#"{"op":"symmetrize","graph":"00000000000000ff","method":"aat"}"#,
+            ),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown graph"), "{err}");
+        // And so does a locally-invalid request, without a round-trip.
+        assert!(client(&args(&[("socket", &sock), ("op", "nope")])).is_err());
+
+        client(&args(&[("socket", &sock), ("op", "shutdown")])).unwrap();
+        daemon.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -14,11 +14,15 @@
 //! symclust pipeline    --input edges.txt --truth truth.txt --clusterers mlrmcl,metis
 //! symclust eval        --clusters clusters.txt --truth truth.txt
 //! symclust nibble      --input edges.txt --seed-node 0
+//! symclust serve       --socket /tmp/symclust.sock --store /var/cache/symclust
+//! symclust client      --socket /tmp/symclust.sock --op stats
 //! ```
 
 pub mod args;
 pub mod commands;
 pub mod formats;
+pub mod protocol;
+pub mod server;
 
 use args::ParsedArgs;
 
@@ -44,6 +48,8 @@ pub fn run(argv: &[String]) -> i32 {
         "pipeline" => commands::pipeline(&parsed),
         "eval" => commands::eval(&parsed),
         "nibble" => commands::nibble(&parsed),
+        "serve" => commands::serve(&parsed),
+        "client" => commands::client(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             return 0;
@@ -92,5 +98,17 @@ SUBCOMMANDS:
               --clusters FILE --truth FILE
   nibble      local cluster around one node (PageRank-Nibble)
               --input FILE --seed-node N [--directed true|false]
+  serve       long-running clustering daemon over a unix socket
+              (newline-delimited flat JSON; artifacts cached in a
+              disk-backed content-addressed store)
+              [--socket PATH | --tcp ADDR] [--store DIR]
+              [--workers N] [--queue-cap N] [--timeout-ms MS]
+              [--store-budget-bytes B]
+  client      send one request to a running daemon, print the response
+              (--socket PATH | --tcp ADDR)
+              (--json LINE | --op OP [--graph KEY] [--method M]
+               [--algo A] [--k K] [--inflation I] [--budget B]
+               [--edges-file FILE] [--key KEY] [--node N]
+               [--id ID] [--timeout-ms MS])
   help        print this message"
 }

@@ -1,0 +1,328 @@
+//! End-to-end tests for `symclust serve` over real unix sockets.
+//!
+//! These drive the daemon exactly the way a client process would —
+//! newline-delimited JSON over a socket — and pin down the subsystem's
+//! three load-bearing promises:
+//!
+//! 1. identical requests get **byte-identical responses**, whether
+//!    computed, served from memory, or served from the disk store —
+//!    including across a daemon restart;
+//! 2. a store hit runs **no kernel** (`spgemm.calls` stays zero on the
+//!    serving daemon);
+//! 3. a **corrupted blob** is detected, quarantined, and transparently
+//!    recomputed — same response bytes, never garbage.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use symclust_cli::server::{Endpoint, ServeOptions, Server};
+use symclust_engine::fingerprint::graph_fingerprint;
+use symclust_engine::json::{parse_object, JsonValue};
+use symclust_graph::io::read_edge_list;
+
+static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("symclust_e2e_{}_{tag}_{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A protocol client. The reader must live as long as the connection —
+/// responses can arrive back-to-back (e.g. `overloaded` rejections
+/// written while an earlier request still computes), and a throwaway
+/// `BufReader` would swallow the lines buffered past the first one.
+struct Client {
+    stream: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = match server.endpoint() {
+            Endpoint::Unix(path) => UnixStream::connect(path).unwrap(),
+            Endpoint::Tcp(_) => unreachable!("e2e tests use unix sockets"),
+        };
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, request: &str) {
+        self.stream.write_all(request.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn read(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "daemon closed the connection");
+        line.trim_end().to_string()
+    }
+
+    fn roundtrip(&mut self, request: &str) -> String {
+        self.send(request);
+        self.read()
+    }
+}
+
+fn field<'a>(fields: &'a std::collections::HashMap<String, JsonValue>, key: &str) -> &'a str {
+    fields
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("missing string field {key:?}"))
+}
+
+const SMALL_EDGES: &str = "0 1\n1 2\n2 3\n3 0\n0 2\n1 3\n4 0\n4 2\n";
+
+/// A graph big enough that uploads and cold bibliometric symmetrization
+/// take real wall time even in release builds — the lever the deadline
+/// and overload tests use to hold the single worker busy.
+fn big_edges() -> String {
+    let n = 3000usize;
+    let mut s = String::with_capacity(n * 60 * 12);
+    for i in 0..n {
+        for d in 1..=60 {
+            s.push_str(&format!("{i} {}\n", (i + d * 7) % n));
+        }
+    }
+    s
+}
+
+fn upload_request(edges: &str) -> String {
+    let mut obj = symclust_engine::json::JsonObject::new();
+    obj.string("op", "upload-graph");
+    obj.string("edges", edges);
+    obj.finish()
+}
+
+/// The acceptance scenario: two identical `symmetrize` requests from
+/// different connections produce byte-identical responses; the second is
+/// served from the store with `spgemm.calls` unchanged. Then the store
+/// survives a daemon restart, and a corrupted blob is quarantined and
+/// recomputed — still byte-identically.
+#[test]
+fn store_hits_are_byte_identical_and_run_no_kernel_across_restarts() {
+    let dir = temp_dir("accept");
+    let opts = |tag: &str| {
+        let mut o = ServeOptions::unix(dir.join(format!("sock-{tag}")), dir.join("store"));
+        o.workers = 2;
+        o
+    };
+
+    // --- Daemon A: cold compute. ---
+    let a = Server::start(opts("a")).unwrap();
+    let mut conn1 = Client::connect(&a);
+    let upload = conn1.roundtrip(&upload_request(SMALL_EDGES));
+    let graph = field(&parse_object(&upload).unwrap(), "graph").to_string();
+    let sym_req = format!(r#"{{"op":"symmetrize","graph":"{graph}","method":"bib","id":"r"}}"#);
+
+    let cold = conn1.roundtrip(&sym_req);
+    assert!(cold.contains(r#""ok":true"#), "{cold}");
+    let spgemm_cold = a.metrics().counter("spgemm.calls").get();
+    assert!(spgemm_cold > 0, "cold bibliometric must run SpGEMM");
+
+    // Second, *different* connection: same request, same bytes, and the
+    // kernel does not run again.
+    let mut conn2 = Client::connect(&a);
+    let warm = conn2.roundtrip(&sym_req);
+    assert_eq!(
+        cold, warm,
+        "responses must be byte-identical across connections"
+    );
+    assert_eq!(
+        a.metrics().counter("spgemm.calls").get(),
+        spgemm_cold,
+        "a cache hit must not run SpGEMM"
+    );
+    a.shutdown();
+    a.join();
+
+    // --- Daemon B: fresh process over the same store. The upload and
+    // the artifact both come back from disk; no kernel runs at all. ---
+    let b = Server::start(opts("b")).unwrap();
+    let mut conn = Client::connect(&b);
+    let restarted = conn.roundtrip(&sym_req);
+    assert_eq!(cold, restarted, "restart must not change response bytes");
+    assert_eq!(
+        b.metrics().counter("spgemm.calls").get(),
+        0,
+        "daemon B must serve the artifact from disk, not recompute it"
+    );
+    let stats = parse_object(&conn.roundtrip(r#"{"op":"stats"}"#)).unwrap();
+    assert!(
+        stats["store-hits"].as_f64().unwrap() >= 1.0,
+        "store stats must record the disk hit: {stats:?}"
+    );
+    b.shutdown();
+    b.join();
+
+    // --- Corrupt the symmetrize blob on disk. ---
+    let sym_key = field(&parse_object(&cold).unwrap(), "key").to_string();
+    let blob_path = dir
+        .join("store")
+        .join("blobs")
+        .join("matrix")
+        .join(format!("{sym_key}.blob"));
+    let mut blob = std::fs::read(&blob_path).unwrap();
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0xFF;
+    std::fs::write(&blob_path, &blob).unwrap();
+
+    // --- Daemon C: the corruption is detected, quarantined, and the
+    // artifact recomputed — the response is still byte-identical. ---
+    let c = Server::start(opts("c")).unwrap();
+    let mut conn = Client::connect(&c);
+    let recovered = conn.roundtrip(&sym_req);
+    assert_eq!(
+        cold, recovered,
+        "recomputed artifact must serialize identically"
+    );
+    assert!(
+        c.metrics().counter("spgemm.calls").get() > 0,
+        "the corrupted blob must be recomputed, not served"
+    );
+    let stats = parse_object(&conn.roundtrip(r#"{"op":"stats"}"#)).unwrap();
+    assert!(
+        stats["store-quarantined"].as_f64().unwrap() >= 1.0,
+        "corruption must be counted: {stats:?}"
+    );
+    let quarantined: Vec<_> = std::fs::read_dir(dir.join("store").join("quarantine"))
+        .unwrap()
+        .collect();
+    assert!(
+        !quarantined.is_empty(),
+        "the corrupt blob must be preserved as evidence"
+    );
+    // The recompute republished a fresh blob under the freed key; it
+    // must decode cleanly and differ from the corrupted bytes.
+    let republished = std::fs::read(&blob_path).unwrap();
+    assert_ne!(
+        republished, blob,
+        "the corrupt bytes must not be served again"
+    );
+    use symclust_store::Artifact as _;
+    symclust_sparse::CsrMatrix::decode(&republished).expect("republished blob must verify");
+    c.shutdown();
+    c.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `cluster` and `query-membership` responses are deterministic too, and
+/// membership queries resolve against artifacts restored from disk.
+#[test]
+fn clustering_artifacts_survive_restarts_and_serve_membership_queries() {
+    let dir = temp_dir("cluster");
+    let opts = |tag: &str| ServeOptions::unix(dir.join(format!("sock-{tag}")), dir.join("store"));
+
+    let a = Server::start(opts("a")).unwrap();
+    let mut conn = Client::connect(&a);
+    let upload = conn.roundtrip(&upload_request(SMALL_EDGES));
+    let graph = field(&parse_object(&upload).unwrap(), "graph").to_string();
+    let cl_req =
+        format!(r#"{{"op":"cluster","graph":"{graph}","method":"aat","algo":"metis","k":2}}"#);
+    let cold = conn.roundtrip(&cl_req);
+    assert!(cold.contains(r#""ok":true"#), "{cold}");
+    let key = field(&parse_object(&cold).unwrap(), "key").to_string();
+    let member_req = format!(r#"{{"op":"query-membership","key":"{key}","node":1}}"#);
+    let member_cold = conn.roundtrip(&member_req);
+    assert!(member_cold.contains(r#""cluster":"#), "{member_cold}");
+    a.shutdown();
+    a.join();
+
+    // Fresh daemon: both the cluster request and a direct membership
+    // query are answered from the store, byte-identically.
+    let b = Server::start(opts("b")).unwrap();
+    let mut conn = Client::connect(&b);
+    let member_warm = conn.roundtrip(&member_req);
+    assert_eq!(member_cold, member_warm);
+    let warm = conn.roundtrip(&cl_req);
+    assert_eq!(cold, warm);
+    assert_eq!(b.metrics().counter("spgemm.calls").get(), 0);
+    b.shutdown();
+    b.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A request whose deadline expires while an earlier request holds the
+/// single worker is answered `deadline`, not computed.
+#[test]
+fn deadlines_expire_in_the_queue_and_are_reported() {
+    let dir = temp_dir("deadline");
+    let mut opts = ServeOptions::unix(dir.join("sock"), dir.join("store"));
+    opts.workers = 1;
+    let server = Server::start(opts).unwrap();
+
+    let edges = big_edges();
+    let fp = graph_fingerprint(&read_edge_list(edges.as_bytes()).unwrap());
+    let mut conn = Client::connect(&server);
+    // The upload parse keeps the only worker busy long past 1ms, so the
+    // timed request's deadline expires while it waits its FIFO turn.
+    conn.send(&upload_request(&edges));
+    let timed = format!(
+        r#"{{"op":"symmetrize","graph":"{fp:016x}","method":"bib","timeout-ms":1,"id":"t"}}"#
+    );
+    conn.send(&timed);
+
+    let first = conn.read();
+    assert!(first.contains(r#""op":"upload-graph""#), "{first}");
+    let second = conn.read();
+    assert!(second.contains(r#""error":"deadline""#), "{second}");
+    assert!(
+        server.metrics().counter("serve.deadline_exceeded").get() >= 1,
+        "deadline must be counted"
+    );
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With one worker and a one-deep queue, excess requests are refused
+/// with an explicit `overloaded` response instead of queuing unboundedly.
+#[test]
+fn full_admission_queue_answers_overloaded() {
+    let dir = temp_dir("overload");
+    let mut opts = ServeOptions::unix(dir.join("sock"), dir.join("store"));
+    opts.workers = 1;
+    opts.queue_cap = 1;
+    let server = Server::start(opts).unwrap();
+
+    let edges = big_edges();
+    let mut conn = Client::connect(&server);
+    // r1 occupies the worker (or the queue slot) for a long time; some
+    // of the rapid-fire followers must bounce off the full queue.
+    conn.send(&format!(
+        r#"{{"op":"upload-graph","edges":"{}","id":"r1"}}"#,
+        symclust_engine::json::escape(&edges)
+    ));
+    for id in ["r2", "r3", "r4"] {
+        conn.send(&format!(r#"{{"op":"stats","id":"{id}"}}"#));
+    }
+
+    let mut by_id = std::collections::HashMap::new();
+    for _ in 0..4 {
+        let line = conn.read();
+        let fields = parse_object(&line).unwrap();
+        by_id.insert(field(&fields, "id").to_string(), line);
+    }
+    assert!(by_id["r1"].contains(r#""ok":true"#), "{:?}", by_id["r1"]);
+    let overloaded = by_id
+        .values()
+        .filter(|l| l.contains(r#""error":"overloaded""#))
+        .count();
+    assert!(
+        overloaded >= 1,
+        "at least one rapid-fire request must be refused: {by_id:?}"
+    );
+    assert_eq!(
+        server.metrics().counter("serve.overloaded").get(),
+        overloaded as u64
+    );
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

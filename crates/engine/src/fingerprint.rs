@@ -1,13 +1,17 @@
 //! Content-addressed cache keys for pipeline artifacts.
 //!
 //! A key is a stable 64-bit FNV-1a hash over (graph fingerprint, stage
-//! name, stage parameters). Stability matters: the same directed graph and
-//! the same parameters must map to the same key within a process run so
-//! that sweeps over clusterers, thresholds, or α/β reuse each
-//! symmetrization instead of recomputing it. Keys are *not* persisted
-//! across processes, so the hash only has to be collision-resistant enough
-//! for in-memory deduplication (64 bits over at most thousands of
-//! artifacts).
+//! name, stage parameters). Stability matters twice over: within a process
+//! run, the same directed graph and the same parameters must map to the
+//! same key so that sweeps over clusterers, thresholds, or α/β reuse each
+//! symmetrization instead of recomputing it; and *across* processes and
+//! machines, because `symclust-store` persists these keys as on-disk
+//! content addresses (DESIGN.md §14) that a restarted daemon must re-derive
+//! bit-for-bit. The hash therefore must be platform-independent (it is:
+//! FNV-1a over explicitly little-endian encodings), but only
+//! collision-resistant enough for deduplication — a collision degrades to
+//! serving the colliding artifact, and 64 bits over at most thousands of
+//! artifacts keeps that probability negligible.
 
 use symclust_graph::DiGraph;
 

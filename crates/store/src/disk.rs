@@ -1,0 +1,718 @@
+//! The disk-backed content-addressed blob store.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/blobs/matrix/<key:016x>.blob        published artifacts
+//! <root>/blobs/clustering/<key:016x>.blob
+//! <root>/quarantine/<kind>-<key:016x>.blob   blobs that failed verification
+//! <root>/stats.json                          cumulative hit/miss counters
+//! <root>/blobs/<kind>/.tmp-*                 in-flight writes (never read)
+//! ```
+//!
+//! Publication is atomic: a blob is written to a `.tmp-` file in its final
+//! directory, fsynced, then renamed into place (and the directory synced),
+//! so a reader can never observe a half-written artifact — a crash leaves
+//! either the old state or the new, plus at worst a dead temp file that
+//! the next open sweeps away.
+//!
+//! Every load re-runs the full decode verification ([`crate::codec`]);
+//! a blob that fails is *moved* to the quarantine directory, counted, and
+//! reported as a miss — corrupt bytes are recomputed upstream, never
+//! served, and the evidence is preserved for inspection instead of being
+//! silently deleted.
+//!
+//! Eviction is LRU by an in-process access sequence (a plain counter, not
+//! a clock — the store must stay free of time sources, see the
+//! `cache-key-purity` lint): when a put takes the total published bytes
+//! over [`StoreOptions::byte_budget`], the least-recently-touched blobs
+//! are deleted until the budget holds (the newest blob itself is always
+//! kept). On open, recency is seeded in deterministic filename order.
+//!
+//! The hit/miss/put/eviction/quarantine counters are cumulative across
+//! process restarts: they are persisted to `stats.json` (atomic
+//! write-then-rename, no fsync — losing the very last update in a crash
+//! costs a counter tick, not correctness) and reloaded on open, so a
+//! daemon's `stats` response survives restarts.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use symclust_engine::json::{parse_object, JsonObject};
+use symclust_obs::MetricsRegistry;
+
+use crate::codec::{Artifact, ArtifactKind, StoreError};
+use crate::metric_names;
+
+const STATS_FILE: &str = "stats.json";
+const BLOB_EXT: &str = "blob";
+
+/// Configuration for a [`DiskStore`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreOptions {
+    /// Maximum total bytes of published blobs; `None` disables eviction.
+    /// The budget is enforced after each put: least-recently-used blobs
+    /// are evicted until the total fits (the blob just published is never
+    /// evicted, even if it alone exceeds the budget).
+    pub byte_budget: Option<u64>,
+}
+
+/// Cumulative store counters, as returned by [`DiskStore::stats`].
+///
+/// The event counters (`hits` … `put_errors`) persist across process
+/// restarts via the `stats.json` sidecar; `blobs` and `bytes` describe
+/// what is on disk right now.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Loads served from an intact on-disk blob.
+    pub hits: u64,
+    /// Loads that found no blob, or found one that failed verification.
+    pub misses: u64,
+    /// Blobs published.
+    pub puts: u64,
+    /// Blobs deleted by the size-budget sweep.
+    pub evictions: u64,
+    /// Blobs that failed verification on load and were quarantined.
+    pub quarantined: u64,
+    /// Publish attempts that failed at the filesystem layer.
+    pub put_errors: u64,
+    /// Blobs currently published.
+    pub blobs: u64,
+    /// Total bytes of currently published blobs.
+    pub bytes: u64,
+}
+
+struct Entry {
+    size: u64,
+    seq: u64,
+}
+
+struct Index {
+    entries: HashMap<(u8, u64), Entry>,
+    total_bytes: u64,
+}
+
+/// A disk-backed content-addressed artifact store. Thread-safe; share it
+/// behind an `Arc` (the daemon does).
+pub struct DiskStore {
+    root: PathBuf,
+    options: StoreOptions,
+    index: Mutex<Index>,
+    next_seq: AtomicU64,
+    // Cumulative counters (restored from stats.json at open).
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    evictions: AtomicU64,
+    quarantined: AtomicU64,
+    put_errors: AtomicU64,
+    metrics: Option<MetricsRegistry>,
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io(format!("{context} {}: {e}", path.display()))
+}
+
+const KINDS: [ArtifactKind; 2] = [ArtifactKind::Matrix, ArtifactKind::Clustering];
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `root`: builds the
+    /// blob index from a deterministic directory scan, sweeps dead temp
+    /// files from interrupted publications, and restores the cumulative
+    /// stats sidecar.
+    pub fn open(root: impl AsRef<Path>, options: StoreOptions) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        let mut entries = HashMap::new();
+        let mut total_bytes = 0u64;
+        let mut seq = 0u64;
+        for kind in KINDS {
+            let dir = root.join("blobs").join(kind.dir_name());
+            fs::create_dir_all(&dir).map_err(|e| io_err("creating", &dir, e))?;
+            let mut names: Vec<(String, PathBuf)> = fs::read_dir(&dir)
+                .map_err(|e| io_err("scanning", &dir, e))?
+                .filter_map(|entry| {
+                    let entry = entry.ok()?;
+                    Some((
+                        entry.file_name().to_string_lossy().into_owned(),
+                        entry.path(),
+                    ))
+                })
+                .collect();
+            // Sorted order makes cold-start LRU seeding deterministic.
+            names.sort();
+            for (name, path) in names {
+                if name.starts_with(".tmp-") {
+                    // Leftover from a publication interrupted mid-write;
+                    // it was never renamed into place, so it is garbage.
+                    fs::remove_file(&path).map_err(|e| io_err("sweeping", &path, e))?;
+                    continue;
+                }
+                let Some(key) = parse_blob_name(&name) else {
+                    continue; // foreign file; leave it alone
+                };
+                let meta = fs::metadata(&path).map_err(|e| io_err("stat", &path, e))?;
+                let size = meta.len();
+                entries.insert((kind.tag(), key), Entry { size, seq });
+                total_bytes += size;
+                seq += 1;
+            }
+        }
+        let qdir = root.join("quarantine");
+        fs::create_dir_all(&qdir).map_err(|e| io_err("creating", &qdir, e))?;
+
+        let persisted = load_stats_sidecar(&root.join(STATS_FILE));
+        let store = DiskStore {
+            root,
+            options,
+            index: Mutex::new(Index {
+                entries,
+                total_bytes,
+            }),
+            next_seq: AtomicU64::new(seq),
+            hits: AtomicU64::new(persisted.hits),
+            misses: AtomicU64::new(persisted.misses),
+            puts: AtomicU64::new(persisted.puts),
+            evictions: AtomicU64::new(persisted.evictions),
+            quarantined: AtomicU64::new(persisted.quarantined),
+            put_errors: AtomicU64::new(persisted.put_errors),
+            metrics: None,
+        };
+        store.publish_gauges();
+        Ok(store)
+    }
+
+    /// Attaches a metrics registry; subsequent store events also increment
+    /// the `store.*` instruments (DESIGN.md §11).
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        metrics
+            .gauge(metric_names::STORE_BYTES)
+            .set(self.bytes() as f64);
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The quarantine directory (inspect after corruption incidents).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    fn blob_path(&self, kind: ArtifactKind, key: u64) -> PathBuf {
+        self.root
+            .join("blobs")
+            .join(kind.dir_name())
+            .join(format!("{key:016x}.{BLOB_EXT}"))
+    }
+
+    fn lock_index(&self) -> std::sync::MutexGuard<'_, Index> {
+        self.index.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Loads and fully verifies the artifact stored under `key`.
+    ///
+    /// Returns `None` — counted as a miss — when no blob exists *or* when
+    /// the blob fails verification; in the latter case the blob is moved
+    /// to quarantine first, so the caller's recompute-and-put replaces it.
+    pub fn load<T: Artifact>(&self, key: u64) -> Option<T> {
+        let kind = T::KIND;
+        let path = self.blob_path(kind, key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.count_miss();
+                return None;
+            }
+            Err(_) => {
+                // Unreadable blob (permissions, I/O error): treat as a
+                // miss; upstream recomputes and the put will surface any
+                // persistent filesystem problem.
+                self.count_miss();
+                return None;
+            }
+        };
+        match T::decode(&bytes) {
+            Ok(artifact) => {
+                let mut index = self.lock_index();
+                if let Some(entry) = index.entries.get_mut(&(kind.tag(), key)) {
+                    entry.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                }
+                drop(index);
+                self.count_hit();
+                Some(artifact)
+            }
+            Err(err) => {
+                self.quarantine(kind, key, &path, &err);
+                self.count_miss();
+                None
+            }
+        }
+    }
+
+    /// Publishes `artifact` under `key` with atomic write-then-rename.
+    /// Idempotent: if the key is already published, nothing is written
+    /// (content addressing means the bytes would be identical). May evict
+    /// least-recently-used blobs afterwards to honor the byte budget.
+    pub fn put<T: Artifact>(&self, key: u64, artifact: &T) -> Result<(), StoreError> {
+        let kind = T::KIND;
+        {
+            let index = self.lock_index();
+            if index.entries.contains_key(&(kind.tag(), key)) {
+                return Ok(());
+            }
+        }
+        let blob = artifact.encode();
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let dir = self.root.join("blobs").join(kind.dir_name());
+        let tmp = dir.join(format!(".tmp-{seq}-{key:016x}"));
+        let publish = (|| -> Result<(), StoreError> {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
+            f.write_all(&blob).map_err(|e| io_err("writing", &tmp, e))?;
+            f.sync_all().map_err(|e| io_err("syncing", &tmp, e))?;
+            drop(f);
+            let dest = self.blob_path(kind, key);
+            fs::rename(&tmp, &dest).map_err(|e| io_err("publishing", &dest, e))?;
+            // Make the rename itself durable.
+            if let Ok(d) = fs::File::open(&dir) {
+                let _ = d.sync_all();
+            }
+            Ok(())
+        })();
+        if let Err(e) = publish {
+            let _ = fs::remove_file(&tmp);
+            self.put_errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.counter(metric_names::STORE_PUT_ERRORS).inc();
+            }
+            self.persist_stats();
+            return Err(e);
+        }
+        let size = blob.len() as u64;
+        {
+            let mut index = self.lock_index();
+            index.entries.insert((kind.tag(), key), Entry { size, seq });
+            index.total_bytes += size;
+            self.evict_over_budget(&mut index, (kind.tag(), key));
+        }
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.counter(metric_names::STORE_PUTS).inc();
+        }
+        self.persist_stats();
+        self.publish_gauges();
+        Ok(())
+    }
+
+    /// Whether a blob is currently published under `key`.
+    pub fn contains(&self, kind: ArtifactKind, key: u64) -> bool {
+        self.lock_index().entries.contains_key(&(kind.tag(), key))
+    }
+
+    /// Number of currently published blobs.
+    pub fn len(&self) -> usize {
+        self.lock_index().entries.len()
+    }
+
+    /// Whether no blob is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of currently published blobs.
+    pub fn bytes(&self) -> u64 {
+        self.lock_index().total_bytes
+    }
+
+    /// Snapshot of the cumulative counters plus current disk occupancy.
+    pub fn stats(&self) -> StoreStats {
+        let (blobs, bytes) = {
+            let index = self.lock_index();
+            (index.entries.len() as u64, index.total_bytes)
+        };
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            put_errors: self.put_errors.load(Ordering::Relaxed),
+            blobs,
+            bytes,
+        }
+    }
+
+    // ---------------------------------------------------------- internals
+
+    fn evict_over_budget(&self, index: &mut Index, keep: (u8, u64)) {
+        let Some(budget) = self.options.byte_budget else {
+            return;
+        };
+        while index.total_bytes > budget && index.entries.len() > 1 {
+            let victim = index
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(k, _)| *k);
+            let Some((tag, key)) = victim else { break };
+            let Some(entry) = index.entries.remove(&(tag, key)) else {
+                break;
+            };
+            index.total_bytes -= entry.size;
+            for kind in KINDS {
+                if kind.tag() == tag {
+                    let _ = fs::remove_file(self.blob_path(kind, key));
+                }
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.counter(metric_names::STORE_EVICTIONS).inc();
+            }
+        }
+    }
+
+    fn quarantine(&self, kind: ArtifactKind, key: u64, path: &Path, err: &StoreError) {
+        let dest = self
+            .quarantine_dir()
+            .join(format!("{}-{key:016x}.{BLOB_EXT}", kind.dir_name()));
+        // Preserve the evidence; if a previous quarantined copy of the
+        // same key exists, the newer one replaces it.
+        if fs::rename(path, &dest).is_err() {
+            // Renaming failed (e.g. racing loader already moved it) —
+            // make sure the corrupt blob is at least not served again.
+            let _ = fs::remove_file(path);
+        }
+        let mut index = self.lock_index();
+        if let Some(entry) = index.entries.remove(&(kind.tag(), key)) {
+            index.total_bytes -= entry.size;
+        }
+        drop(index);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.counter(metric_names::STORE_QUARANTINED).inc();
+        }
+        self.persist_stats();
+        self.publish_gauges();
+        // Quarantine is an incident worth a trace: record the reason in
+        // the metrics-free path too via the sidecar-adjacent log file.
+        let note = self
+            .quarantine_dir()
+            .join(format!("{}-{key:016x}.reason.txt", kind.dir_name()));
+        let _ = fs::write(&note, format!("{err}\n"));
+    }
+
+    fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.counter(metric_names::STORE_HITS).inc();
+        }
+        self.persist_stats();
+    }
+
+    fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.counter(metric_names::STORE_MISSES).inc();
+        }
+        self.persist_stats();
+    }
+
+    fn publish_gauges(&self) {
+        if let Some(m) = &self.metrics {
+            m.gauge(metric_names::STORE_BYTES).set(self.bytes() as f64);
+        }
+    }
+
+    /// Persists the cumulative counters to `stats.json` via atomic
+    /// write-then-rename. Deliberately not fsynced: a crash can lose the
+    /// last few ticks, never corrupt the file (the rename is atomic).
+    fn persist_stats(&self) {
+        let mut obj = JsonObject::new();
+        obj.number("hits", self.hits.load(Ordering::Relaxed) as f64);
+        obj.number("misses", self.misses.load(Ordering::Relaxed) as f64);
+        obj.number("puts", self.puts.load(Ordering::Relaxed) as f64);
+        obj.number("evictions", self.evictions.load(Ordering::Relaxed) as f64);
+        obj.number(
+            "quarantined",
+            self.quarantined.load(Ordering::Relaxed) as f64,
+        );
+        obj.number("put_errors", self.put_errors.load(Ordering::Relaxed) as f64);
+        let line = obj.finish();
+        let path = self.root.join(STATS_FILE);
+        let tmp = self.root.join(".stats.json.tmp");
+        // Failures here are non-fatal: stats persistence is best-effort
+        // and the in-memory counters remain authoritative for this
+        // process's lifetime.
+        if fs::write(&tmp, line).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+    }
+}
+
+fn parse_blob_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(&format!(".{BLOB_EXT}"))?;
+    if stem.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(stem, 16).ok()
+}
+
+#[derive(Default)]
+struct PersistedStats {
+    hits: u64,
+    misses: u64,
+    puts: u64,
+    evictions: u64,
+    quarantined: u64,
+    put_errors: u64,
+}
+
+fn load_stats_sidecar(path: &Path) -> PersistedStats {
+    let Ok(text) = fs::read_to_string(path) else {
+        return PersistedStats::default();
+    };
+    let Ok(map) = parse_object(text.trim()) else {
+        // A corrupt sidecar resets the counters rather than failing the
+        // open; losing cumulative stats is an annoyance, not an outage.
+        return PersistedStats::default();
+    };
+    let get = |k: &str| map.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+    PersistedStats {
+        hits: get("hits"),
+        misses: get("misses"),
+        puts: get("puts"),
+        evictions: get("evictions"),
+        quarantined: get("quarantined"),
+        put_errors: get("put_errors"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symclust_sparse::CsrMatrix;
+
+    static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "symclust_store_test_{}_{tag}_{n}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn matrix(scale: f64) -> CsrMatrix {
+        CsrMatrix::from_dense(&[vec![0.0, scale], vec![scale * 2.0, 0.0]])
+    }
+
+    #[test]
+    fn put_then_load_roundtrips() {
+        let dir = temp_store_dir("roundtrip");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        let m = matrix(1.5);
+        store.put(42, &m).unwrap();
+        let back: CsrMatrix = store.load(42).unwrap();
+        assert_eq!(back, m);
+        let stats = store.stats();
+        assert_eq!((stats.puts, stats.hits, stats.misses), (1, 1, 0));
+        assert_eq!(stats.blobs, 1);
+        assert!(stats.bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_key_is_a_miss() {
+        let dir = temp_store_dir("miss");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        assert!(store.load::<CsrMatrix>(7).is_none());
+        assert_eq!(store.stats().misses, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn blobs_survive_reopen() {
+        let dir = temp_store_dir("reopen");
+        let m = matrix(3.0);
+        {
+            let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+            store.put(7, &m).unwrap();
+        }
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        assert!(store.contains(ArtifactKind::Matrix, 7));
+        let back: CsrMatrix = store.load(7).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_survive_reopen() {
+        // Regression test for the satellite bugfix: `ArtifactCache` stats
+        // were process-local; store stats must be cumulative across
+        // restarts via the sidecar.
+        let dir = temp_store_dir("stats_persist");
+        {
+            let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+            store.put(1, &matrix(1.0)).unwrap();
+            let _: Option<CsrMatrix> = store.load(1); // hit
+            let _: Option<CsrMatrix> = store.load(2); // miss
+            let s = store.stats();
+            assert_eq!((s.puts, s.hits, s.misses), (1, 1, 1));
+        }
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        let s = store.stats();
+        assert_eq!(
+            (s.puts, s.hits, s.misses),
+            (1, 1, 1),
+            "cumulative stats must survive a restart"
+        );
+        let _: Option<CsrMatrix> = store.load(1);
+        assert_eq!(store.stats().hits, 2, "and keep accumulating");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_blob_is_quarantined_not_served() {
+        let dir = temp_store_dir("quarantine");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        store.put(5, &matrix(2.0)).unwrap();
+        // Flip one payload byte on disk.
+        let path = store.blob_path(ArtifactKind::Matrix, 5);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(store.load::<CsrMatrix>(5).is_none(), "corrupt blob served");
+        assert!(!path.exists(), "corrupt blob left in place");
+        let quarantined: Vec<_> = std::fs::read_dir(store.quarantine_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            quarantined
+                .iter()
+                .any(|n| n.contains("matrix-") && n.ends_with(".blob")),
+            "blob not moved to quarantine: {quarantined:?}"
+        );
+        let s = store.stats();
+        assert_eq!((s.quarantined, s.misses, s.hits), (1, 1, 0));
+        // The key is free again: a recompute-and-put republishes it.
+        store.put(5, &matrix(2.0)).unwrap();
+        assert!(store.load::<CsrMatrix>(5).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eviction_is_lru_and_keeps_newest() {
+        let dir = temp_store_dir("evict");
+        let one_blob = matrix(1.0).encode().len() as u64;
+        let store = DiskStore::open(
+            &dir,
+            StoreOptions {
+                byte_budget: Some(2 * one_blob),
+            },
+        )
+        .unwrap();
+        store.put(1, &matrix(1.0)).unwrap();
+        store.put(2, &matrix(2.0)).unwrap();
+        // Touch key 1 so key 2 becomes the LRU victim.
+        let _: Option<CsrMatrix> = store.load(1);
+        store.put(3, &matrix(3.0)).unwrap();
+        assert!(
+            store.contains(ArtifactKind::Matrix, 1),
+            "recently used evicted"
+        );
+        assert!(!store.contains(ArtifactKind::Matrix, 2), "LRU victim kept");
+        assert!(store.contains(ArtifactKind::Matrix, 3), "newest evicted");
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.bytes() <= 2 * one_blob);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiny_budget_always_keeps_the_latest_blob() {
+        let dir = temp_store_dir("tiny_budget");
+        let store = DiskStore::open(
+            &dir,
+            StoreOptions {
+                byte_budget: Some(1),
+            },
+        )
+        .unwrap();
+        store.put(1, &matrix(1.0)).unwrap();
+        store.put(2, &matrix(2.0)).unwrap();
+        assert_eq!(store.len(), 1, "budget of 1 byte keeps exactly the newest");
+        assert!(store.contains(ArtifactKind::Matrix, 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn put_is_idempotent_per_key() {
+        let dir = temp_store_dir("idempotent");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        store.put(9, &matrix(1.0)).unwrap();
+        store.put(9, &matrix(1.0)).unwrap();
+        assert_eq!(store.stats().puts, 1, "second put of same key is a no-op");
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dead_temp_files_are_swept_on_open() {
+        let dir = temp_store_dir("sweep");
+        {
+            let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+            store.put(1, &matrix(1.0)).unwrap();
+        }
+        let tmp = dir.join("blobs").join("matrix").join(".tmp-99-dead");
+        std::fs::write(&tmp, b"half-written").unwrap();
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        assert!(!tmp.exists(), "interrupted publication not swept");
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kinds_are_namespaced() {
+        use symclust_cluster::Clustering;
+        let dir = temp_store_dir("kinds");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        let c = Clustering::from_assignments(&[0, 1, 0]);
+        store.put(11, &matrix(1.0)).unwrap();
+        store.put(11, &c).unwrap(); // same key, different kind: distinct blob
+        assert_eq!(store.len(), 2);
+        let m: CsrMatrix = store.load(11).unwrap();
+        let c2: Clustering = store.load(11).unwrap();
+        assert_eq!(m, matrix(1.0));
+        assert_eq!(c2, c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_track_store_events() {
+        let dir = temp_store_dir("metrics");
+        let metrics = MetricsRegistry::new();
+        let store = DiskStore::open(&dir, StoreOptions::default())
+            .unwrap()
+            .with_metrics(metrics.clone());
+        store.put(1, &matrix(1.0)).unwrap();
+        let _: Option<CsrMatrix> = store.load(1);
+        let _: Option<CsrMatrix> = store.load(2);
+        assert_eq!(metrics.counter(metric_names::STORE_PUTS).get(), 1);
+        assert_eq!(metrics.counter(metric_names::STORE_HITS).get(), 1);
+        assert_eq!(metrics.counter(metric_names::STORE_MISSES).get(), 1);
+        assert!(metrics.gauge(metric_names::STORE_BYTES).get() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,233 @@
+//! Property tests for the store's binary codec.
+//!
+//! Same discipline as `proptest_syrk.rs`: inputs come from a hand-rolled
+//! deterministic 64-bit LCG, so every run — any machine, any thread
+//! count — exercises byte-for-byte the same artifacts. Two properties
+//! are load-bearing for the serving story:
+//!
+//! 1. **Bit-identical round-trips.** `decode(encode(x)) == x` and
+//!    `encode(decode(encode(x))) == encode(x)` — the daemon's promise of
+//!    byte-identical responses across connections and restarts rests on
+//!    the codec being a bijection on its image.
+//! 2. **Every single-byte corruption is rejected, with a named error.**
+//!    Flipping any one byte of a blob must surface `BadMagic`,
+//!    `UnsupportedVersion`, `ChecksumMismatch`, … — never a successfully
+//!    decoded wrong artifact, and never a panic.
+
+use symclust_cluster::Clustering;
+use symclust_sparse::CsrMatrix;
+use symclust_store::codec::checksum64;
+use symclust_store::{Artifact, StoreError};
+
+/// Minimal deterministic generator: Knuth's 64-bit LCG constants.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+const SEEDS: [u64; 4] = [
+    0x243F6A8885A308D3,
+    0x9E3779B97F4A7C15,
+    0xB7E151628AED2A6A,
+    0x452821E638D01377,
+];
+
+/// Random sparse matrix with awkward values (negatives, -0.0, subnormal
+/// magnitudes) — the codec stores bit patterns, so all must survive.
+fn random_matrix(n_rows: usize, n_cols: usize, seed: u64) -> CsrMatrix {
+    let mut rng = Lcg(seed);
+    let mut rows = vec![vec![0.0f64; n_cols]; n_rows];
+    for row in rows.iter_mut() {
+        for v in row.iter_mut() {
+            let r = rng.next();
+            if r.is_multiple_of(4) {
+                *v = match (r >> 8) % 5 {
+                    0 => ((r >> 32) % 16 + 1) as f64 * 0.125,
+                    1 => -(((r >> 32) % 16 + 1) as f64) * 0.25,
+                    2 => -0.0,
+                    3 => f64::MIN_POSITIVE * ((r >> 32) % 7 + 1) as f64,
+                    _ => ((r >> 32) % 1000) as f64 + 0.5,
+                };
+            }
+        }
+    }
+    CsrMatrix::from_dense(&rows)
+}
+
+fn random_clustering(n_nodes: usize, seed: u64) -> Clustering {
+    let mut rng = Lcg(seed);
+    let raw: Vec<u32> = (0..n_nodes).map(|_| (rng.next() % 7) as u32).collect();
+    Clustering::from_assignments(&raw).with_converged(rng.next().is_multiple_of(2))
+}
+
+#[test]
+fn matrix_roundtrip_is_bit_identical() {
+    for (case, &seed) in SEEDS.iter().enumerate() {
+        for (n_rows, n_cols) in [(1, 1), (7, 13), (40, 25), (64, 64)] {
+            let m = random_matrix(n_rows, n_cols, seed ^ (n_rows as u64) << 32);
+            let blob = m.encode();
+            let back = CsrMatrix::decode(&blob)
+                .unwrap_or_else(|e| panic!("case {case} {n_rows}x{n_cols}: {e}"));
+            assert_eq!(m, back, "case {case}");
+            assert_eq!(
+                m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                back.values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "case {case}: value bit patterns (incl. -0.0) must survive"
+            );
+            assert_eq!(blob, back.encode(), "case {case}: re-encode must match");
+        }
+    }
+}
+
+#[test]
+fn clustering_roundtrip_is_bit_identical() {
+    for &seed in &SEEDS {
+        for n in [0usize, 1, 5, 33, 200] {
+            let c = random_clustering(n, seed ^ n as u64);
+            let blob = c.encode();
+            let back = Clustering::decode(&blob).unwrap();
+            assert_eq!(c, back);
+            assert_eq!(blob, back.encode());
+        }
+    }
+}
+
+#[test]
+fn empty_and_degenerate_matrices_roundtrip() {
+    for m in [
+        CsrMatrix::from_dense(&[]),
+        CsrMatrix::from_dense(&[vec![]]),
+        CsrMatrix::from_dense(&[vec![0.0, 0.0], vec![0.0, 0.0]]),
+    ] {
+        let blob = m.encode();
+        assert_eq!(CsrMatrix::decode(&blob).unwrap(), m);
+    }
+}
+
+/// Every single-byte flip (all 8 bit positions sampled via 0xFF XOR, plus
+/// two single-bit flips) must be rejected with a named error. The header
+/// fields can fail on their own named variants; everything else must be
+/// caught by the checksum.
+#[test]
+fn every_single_byte_corruption_of_a_matrix_blob_is_rejected() {
+    let m = random_matrix(12, 9, SEEDS[0]);
+    let blob = m.encode();
+    for pos in 0..blob.len() {
+        for mask in [0xFFu8, 0x01, 0x80] {
+            let mut bad = blob.clone();
+            bad[pos] ^= mask;
+            match CsrMatrix::decode(&bad) {
+                Ok(_) => panic!("corruption at byte {pos} (mask {mask:#x}) decoded"),
+                Err(
+                    StoreError::BadMagic
+                    | StoreError::UnsupportedVersion(_)
+                    | StoreError::BadKind(_)
+                    | StoreError::KindMismatch { .. }
+                    | StoreError::ChecksumMismatch { .. },
+                ) => {}
+                Err(other) => panic!(
+                    "corruption at byte {pos} (mask {mask:#x}): expected a named \
+                     header/checksum error, got {other:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_corruption_of_a_clustering_blob_is_rejected() {
+    let c = random_clustering(50, SEEDS[1]);
+    let blob = c.encode();
+    for pos in 0..blob.len() {
+        let mut bad = blob.clone();
+        bad[pos] ^= 0xFF;
+        assert!(
+            Clustering::decode(&bad).is_err(),
+            "corruption at byte {pos} decoded successfully"
+        );
+    }
+}
+
+/// A corrupted payload whose checksum is re-forged to match must still be
+/// rejected — by the CSR structural validators, with the violated
+/// invariant named. (This is the defense the quarantine path relies on:
+/// the checksum catches random corruption, the validator catches
+/// everything that *looks* like a valid blob but isn't a valid matrix.)
+#[test]
+fn forged_checksum_corruptions_are_caught_by_the_validator() {
+    let m = random_matrix(10, 10, SEEDS[2]);
+    let blob = m.encode();
+    let mut rng = Lcg(SEEDS[3]);
+    let mut validator_rejections = 0usize;
+    for _ in 0..400 {
+        let pos = 8 + (rng.next() as usize) % (blob.len() - 16); // inside body, past header
+        let mask = (rng.next() % 255 + 1) as u8;
+        let mut bad = blob.clone();
+        bad[pos] ^= mask;
+        let body_len = bad.len() - 8;
+        let sum = checksum64(&bad[..body_len]).to_le_bytes();
+        bad[body_len..].copy_from_slice(&sum);
+        match CsrMatrix::decode(&bad) {
+            Ok(decoded) => {
+                // A flip confined to a value's bit pattern yields a
+                // different-but-structurally-valid matrix; that is fine —
+                // content addressing means this blob lives under a key
+                // nobody will ever derive. It must never equal the
+                // original, though.
+                assert_ne!(decoded.encode(), blob, "corruption produced the original");
+            }
+            Err(
+                StoreError::CorruptedArtifact { .. }
+                | StoreError::LengthMismatch { .. }
+                | StoreError::Truncated { .. }
+                | StoreError::BadKind(_)
+                | StoreError::KindMismatch { .. }
+                | StoreError::UnsupportedVersion(_)
+                | StoreError::BadMagic,
+            ) => validator_rejections += 1,
+            Err(StoreError::ChecksumMismatch { .. }) => {
+                panic!("checksum was forged to match; it cannot mismatch")
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert!(
+        validator_rejections > 0,
+        "no forged corruption reached the structural validator"
+    );
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let m = random_matrix(6, 6, SEEDS[3]);
+    let blob = m.encode();
+    for cut in 0..blob.len() {
+        assert!(
+            CsrMatrix::decode(&blob[..cut]).is_err(),
+            "truncation to {cut} bytes decoded successfully"
+        );
+    }
+}
+
+#[test]
+fn distinct_artifacts_have_distinct_blobs() {
+    // Content addressing sanity: the codec must not collapse distinct
+    // matrices onto one encoding.
+    let mut blobs = std::collections::HashSet::new();
+    for &seed in &SEEDS {
+        for shape in [(5, 5), (5, 6), (6, 5)] {
+            let m = random_matrix(shape.0, shape.1, seed);
+            assert!(blobs.insert(m.encode()), "duplicate blob for {shape:?}");
+        }
+    }
+}

@@ -33,3 +33,9 @@ cargo build --release -q -p symclust-cli -p symclust-bench
 # multiply-adds than the general kernel on the bundled example, for a
 # bit-identical product.
 ./target/release/bench_gate syrk-check examples/data/dsbm_small.txt
+
+# Artifact-store speedup lock: replaying a symmetrization through a fresh
+# memory tier over the on-disk store (a simulated daemon restart) must be
+# a disk hit — zero SpGEMM calls, bit-identical matrix — and strictly
+# faster than the cold compute.
+./target/release/bench_gate serve-check examples/data/dsbm_small.txt

@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check build test fault debug-assertions threads-matrix bench)
+ALL_STAGES=(fmt clippy check build test fault debug-assertions threads-matrix serve bench)
 
 stage_fmt() { cargo fmt --all -- --check; }
 stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
@@ -31,6 +31,71 @@ stage_debug_assertions() {
     cargo test -q --release -p symclust-engine
 }
 stage_bench() { ./scripts/bench_gate.sh; }
+# Daemon smoke over a real unix socket: upload the bundled graph, cold-
+# compute one symmetrization, restart the daemon over the same store, and
+# require the identical request to come back byte-identical with the
+# store reporting a hit (no recompute).
+SERVE_PID=""
+serve_cleanup() { [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true; }
+serve_wait_ready() {
+  local sock="$1" log="$2"
+  for _ in $(seq 1 200); do
+    [ -S "$sock" ] && return 0
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+      echo "serve: daemon exited before binding:" >&2
+      cat "$log" >&2
+      return 1
+    }
+    sleep 0.05
+  done
+  echo "serve: daemon never became ready:" >&2
+  cat "$log" >&2
+  return 1
+}
+stage_serve() {
+  cargo build --release -q -p symclust-cli
+  trap serve_cleanup EXIT
+  local dir=target/serve_ci
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  local sock="$dir/serve.sock" store="$dir/store" log="$dir/serve.log"
+  local client=(./target/release/symclust client --socket "$sock")
+
+  ./target/release/symclust serve --socket "$sock" --store "$store" >"$log" 2>&1 &
+  SERVE_PID=$!
+  serve_wait_ready "$sock" "$log"
+  local upload graph r1
+  upload="$("${client[@]}" --op upload-graph --edges-file examples/data/dsbm_small.txt)"
+  graph="$(sed -n 's/.*"graph":"\([0-9a-f]*\)".*/\1/p' <<<"$upload")"
+  [ -n "$graph" ] || {
+    echo "serve: no graph key in: $upload" >&2
+    return 1
+  }
+  r1="$("${client[@]}" --op symmetrize --graph "$graph" --method bib)"
+  "${client[@]}" --op shutdown >/dev/null
+  wait "$SERVE_PID"
+
+  ./target/release/symclust serve --socket "$sock" --store "$store" >"$log" 2>&1 &
+  SERVE_PID=$!
+  serve_wait_ready "$sock" "$log"
+  local r2 stats hits
+  r2="$("${client[@]}" --op symmetrize --graph "$graph" --method bib)"
+  stats="$("${client[@]}" --op stats)"
+  "${client[@]}" --op shutdown >/dev/null
+  wait "$SERVE_PID"
+  SERVE_PID=""
+  [ "$r1" = "$r2" ] || {
+    echo "serve: responses differ across restart:" >&2
+    echo "  $r1" >&2
+    echo "  $r2" >&2
+    return 1
+  }
+  hits="$(sed -n 's/.*"store-hits":\([0-9]*\).*/\1/p' <<<"$stats")"
+  [ "${hits:-0}" -ge 1 ] || {
+    echo "serve: expected a store hit after restart, got: $stats" >&2
+    return 1
+  }
+}
 # Scheduling-determinism matrix: the kernel/symmetrizer tests must pass
 # with the SpGEMM thread default forced serial and forced 4-way, since
 # output (and every deterministic counter) is spec'd bit-identical for
