@@ -36,10 +36,15 @@ pub const EXACT_KEYS: &[&str] = &[
     "counter.store.hits",
     "counter.store.misses",
     "counter.store.quarantined",
+    "counter.store.stats_persist_errors",
+    "gauge.store.degraded",
 ];
 // NOT gated: `counter.spgemm.sched_steals` — the work-stealing scheduler's
 // steal count depends on thread count and machine load, so it is exactly
 // the kind of scheduling-dependent metric the module docs exclude.
+// The two store health metrics above ARE deterministic on a healthy run:
+// both must be exactly zero unless the disk itself misbehaved, which is
+// precisely what the gate should catch.
 
 /// Wall-clock slack floor in seconds: below this, a "25% regression" is
 /// scheduler noise, not a finding. The gate allows

@@ -26,6 +26,12 @@
 //!    addresses are derived from the same keys). (Thread count is
 //!    excluded from cache keys *on purpose* — kernels are
 //!    bit-deterministic across thread counts, DESIGN.md §12.)
+//! 5. **store-faultfs** — non-test library code in `crates/store` must
+//!    not call `std::fs` directly; every filesystem touch goes through
+//!    the `faultfs` shim so the chaos harness's deterministic fault
+//!    schedules (DESIGN.md §15) actually cover it. A raw call is an
+//!    unfaultable blind spot. Allowlisted: `faultfs.rs` itself, the
+//!    single mediation point.
 //!
 //! The scanner is deliberately line-based over comment/string-stripped
 //! source (no syntax tree, zero dependencies): the rules only need
@@ -79,6 +85,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "cache-key-purity",
         "no wall-clock or thread counts in engine cache-key/fingerprint code",
+    ),
+    (
+        "store-faultfs",
+        "every filesystem call in crates/store goes through the faultfs shim",
     ),
 ];
 
@@ -286,6 +296,21 @@ const ALLOW_UNWRAP: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Raw-filesystem occurrences allowed in `crates/store` library code:
+/// `(path suffix, stripped-line needle, reason)`. Staleness-checked.
+const ALLOW_RAW_FS: &[(&str, &str, &str)] = &[
+    (
+        "store/src/faultfs.rs",
+        "std::fs",
+        "the shim imports the std::fs it mediates",
+    ),
+    (
+        "store/src/faultfs.rs",
+        "fs::",
+        "the FaultFs shim is the single mediation point; raw calls live only here",
+    ),
+];
+
 /// Tokens banned from cache-key/fingerprint code, with the reason shown in
 /// the violation.
 const CACHE_KEY_BANNED: &[(&str, &str)] = &[
@@ -337,6 +362,7 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
     violations.extend(rule_metric_taxonomy(root, &sources)?);
     violations.extend(rule_no_unwrap_expect(&sources));
     violations.extend(rule_cache_key_purity(&sources));
+    violations.extend(rule_store_faultfs(&sources));
     violations
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(violations)
@@ -416,7 +442,19 @@ fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
         let code_lines: Vec<String> = stripped.lines().map(str::to_string).collect();
         let test_start = code_lines
             .iter()
-            .position(|l| l.contains("#[cfg(test)]"))
+            .enumerate()
+            .position(|(i, l)| {
+                // `#[cfg(test)]` marks the trailing tests region. The
+                // feature-gated variant `#[cfg(all(test, feature = …))]`
+                // counts only when it gates a `mod` — the same attribute
+                // on a single item (e.g. a shared test lock) is followed
+                // by more library code that must stay scanned.
+                l.contains("#[cfg(test)]")
+                    || (l.contains("#[cfg(all(test")
+                        && code_lines
+                            .get(i + 1)
+                            .is_some_and(|next| next.trim_start().starts_with("mod ")))
+            })
             .unwrap_or(usize::MAX);
         sources.push(SourceFile {
             rel_path,
@@ -964,6 +1002,73 @@ fn rule_cache_key_purity(sources: &[SourceFile]) -> Vec<Violation> {
     violations
 }
 
+// ---------------------------------------------------------------- rule 5
+
+/// Tokens that mark a direct filesystem call. `fs::` is matched only at
+/// an identifier boundary so `faultfs::read(...)` call sites don't trip.
+const RAW_FS_TOKENS: &[&str] = &["std::fs", "fs::", "File::", "OpenOptions"];
+
+/// Whether `code` contains `token` preceded by a non-identifier character
+/// (or the start of the line).
+fn has_raw_fs_token(code: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let boundary = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        from = at + token.len();
+    }
+    false
+}
+
+fn rule_store_faultfs(sources: &[SourceFile]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut allow_hits = vec![false; ALLOW_RAW_FS.len()];
+    for file in sources {
+        if file.crate_name() != "store" || file.is_bin() {
+            continue;
+        }
+        for (lineno, code, _raw) in file.lib_lines() {
+            let Some(token) = RAW_FS_TOKENS.iter().find(|t| has_raw_fs_token(code, t)) else {
+                continue;
+            };
+            if let Some(pos) = ALLOW_RAW_FS.iter().position(|(path, needle, _)| {
+                file.rel_path.ends_with(path) && code.contains(needle)
+            }) {
+                allow_hits[pos] = true;
+                continue;
+            }
+            violations.push(Violation {
+                rule: "store-faultfs",
+                file: file.rel_path.clone(),
+                line: lineno,
+                message: format!(
+                    "`{token}` bypasses the faultfs shim; route this call through \
+                     crate::faultfs so fault schedules cover it (or allowlist it \
+                     in crates/check with the reason)"
+                ),
+            });
+        }
+    }
+    for (hit, (path, needle, _)) in allow_hits.iter().zip(ALLOW_RAW_FS) {
+        if !hit {
+            violations.push(Violation {
+                rule: "store-faultfs",
+                file: "crates/check/src/lint.rs".into(),
+                line: 0,
+                message: format!("stale allowlist entry ({path}, {needle:?}) matches nothing"),
+            });
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1038,6 +1143,51 @@ mod tests {
         assert_eq!(fns.len(), 1);
         assert_eq!(fns[0].name, "spgemm_fancy");
         assert!(fns[0].signature.contains("CancelToken"));
+    }
+
+    #[test]
+    fn raw_fs_boundary_matching_spares_the_shim_call_sites() {
+        assert!(has_raw_fs_token("let d = fs::read_dir(p)?;", "fs::"));
+        assert!(has_raw_fs_token("std::fs::rename(a, b)", "fs::"));
+        assert!(!has_raw_fs_token("faultfs::read_dir(p)?", "fs::"));
+        assert!(!has_raw_fs_token("crate::faultfs::write(p, b)", "fs::"));
+        assert!(has_raw_fs_token("use std::fs;", "std::fs"));
+    }
+
+    #[test]
+    fn raw_fs_in_store_library_code_is_flagged() {
+        let mk = |rel_path: &str, line: &str| SourceFile {
+            rel_path: rel_path.into(),
+            raw_lines: vec![line.into()],
+            code_lines: vec![line.into()],
+            test_start: usize::MAX,
+        };
+        let rogue = mk(
+            "crates/store/src/disk.rs",
+            "    let data = std::fs::read(&path)?;",
+        );
+        let violations = rule_store_faultfs(std::slice::from_ref(&rogue));
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "store-faultfs" && v.message.contains("faultfs")),
+            "{violations:?}"
+        );
+        // The same call through the shim is clean (only staleness entries
+        // fire, pointing at the check crate, not the scanned file).
+        let routed = mk(
+            "crates/store/src/disk.rs",
+            "    let data = faultfs::read(&path)?;",
+        );
+        let violations = rule_store_faultfs(std::slice::from_ref(&routed));
+        assert!(violations.iter().all(|v| v.line == 0), "{violations:?}");
+        // Outside the store crate the rule does not apply at all.
+        let elsewhere = mk(
+            "crates/cli/src/commands.rs",
+            "    std::fs::write(&path, body)?;",
+        );
+        let violations = rule_store_faultfs(std::slice::from_ref(&elsewhere));
+        assert!(violations.iter().all(|v| v.line == 0), "{violations:?}");
     }
 
     #[test]

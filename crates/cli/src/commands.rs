@@ -467,7 +467,9 @@ pub fn nibble(args: &ParsedArgs) -> CmdResult {
 }
 
 /// `symclust serve`: run the clustering daemon until a `shutdown`
-/// request (or SIGKILL; the store recovers stale temp files on reopen).
+/// request, SIGTERM/SIGINT (both drain: admitted work finishes, stats
+/// persist, the socket is unlinked), or SIGKILL (the store recovers
+/// stale temp files on reopen).
 pub fn serve(args: &ParsedArgs) -> CmdResult {
     let bind = match (args.optional("socket"), args.optional("tcp")) {
         (Some(_), Some(_)) => return Err("--socket and --tcp are mutually exclusive".into()),
@@ -481,8 +483,12 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
         queue_cap: args.get_or("queue-cap", 64usize)?,
         default_timeout_ms: args.get::<u64>("timeout-ms")?,
         store_budget_bytes: args.get::<u64>("store-budget-bytes")?,
+        drain_ms: args.get_or("drain-ms", 2000u64)?,
+        read_timeout_ms: args.get::<u64>("read-timeout-ms")?,
     };
+    crate::server::signals::install();
     let daemon = Server::start(opts)?;
+    daemon.drain_on_termination();
     // The ready line is what scripts wait for; flush past any pipe
     // buffering before blocking in join.
     println!("symclust serve: listening on {}", daemon.endpoint());
@@ -495,6 +501,13 @@ pub fn serve(args: &ParsedArgs) -> CmdResult {
 /// `symclust client`: send one request line to a running daemon and
 /// print the raw response line. Exits nonzero when the daemon answers
 /// with an error response.
+///
+/// Transient failures — a refused/absent socket, or an `overloaded`
+/// pushback — are retried up to `--retries` total attempts with the
+/// engine's deterministic exponential backoff ([`RetryPolicy`]); an
+/// `overloaded` response's `retry-after-ms` hint is honored as a floor
+/// on the delay. Errors *after* the request was sent are never retried
+/// (the op may have executed).
 pub fn client(args: &ParsedArgs) -> CmdResult {
     let line = match args.optional("json") {
         Some(j) => j.to_string(),
@@ -503,18 +516,35 @@ pub fn client(args: &ParsedArgs) -> CmdResult {
     // Parse locally first so a typo fails with the protocol's own
     // message instead of a daemon round-trip.
     protocol::parse_request(&line).map_err(|e| format!("bad request: {e}"))?;
-    let response = match (args.optional("socket"), args.optional("tcp")) {
-        (Some(_), Some(_)) => return Err("--socket and --tcp are mutually exclusive".into()),
-        (None, Some(addr)) => {
-            let stream = std::net::TcpStream::connect(addr)
-                .map_err(|e| format!("connecting to {addr}: {e}"))?;
-            request_response(stream, &line)?
-        }
-        (socket, None) => {
-            let path = socket.unwrap_or("symclust.sock");
-            let stream = std::os::unix::net::UnixStream::connect(path)
-                .map_err(|e| format!("connecting to {path}: {e}"))?;
-            request_response(stream, &line)?
+    let retries: usize = args.get_or("retries", RetryPolicy::default().max_attempts)?;
+    if retries == 0 {
+        return Err("--retries must be at least 1 (it counts total attempts)".into());
+    }
+    let policy = RetryPolicy {
+        max_attempts: retries,
+        ..Default::default()
+    };
+    let mut attempt = 1usize;
+    let response = loop {
+        match client_send_once(args, &line) {
+            Ok(response) => match overloaded_retry_after(&response) {
+                Some(hint_ms) if attempt < retries => {
+                    let delay = policy.delay_ms(0, attempt).max(hint_ms);
+                    eprintln!(
+                        "daemon overloaded; retrying in {delay} ms (attempt {attempt}/{retries})"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                    attempt += 1;
+                }
+                _ => break response,
+            },
+            Err(e) if attempt < retries && e.starts_with("connecting to") => {
+                let delay = policy.delay_ms(0, attempt);
+                eprintln!("{e}; retrying in {delay} ms (attempt {attempt}/{retries})");
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
         }
     };
     println!("{response}");
@@ -533,6 +563,45 @@ pub fn client(args: &ParsedArgs) -> CmdResult {
             .unwrap_or("server returned an error")
             .to_string())
     }
+}
+
+/// One connect-send-receive round: connection failures come back with a
+/// "connecting to" prefix so the retry loop can tell them apart from
+/// post-send failures (which must not be retried).
+fn client_send_once(args: &ParsedArgs, line: &str) -> Result<String, String> {
+    match (args.optional("socket"), args.optional("tcp")) {
+        (Some(_), Some(_)) => Err("--socket and --tcp are mutually exclusive".into()),
+        (None, Some(addr)) => {
+            let stream = std::net::TcpStream::connect(addr)
+                .map_err(|e| format!("connecting to {addr}: {e}"))?;
+            request_response(stream, line)
+        }
+        (socket, None) => {
+            let path = socket.unwrap_or("symclust.sock");
+            let stream = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| format!("connecting to {path}: {e}"))?;
+            request_response(stream, line)
+        }
+    }
+}
+
+/// If `response` is an `overloaded` error line, returns its
+/// `retry-after-ms` hint (falling back to the protocol default).
+fn overloaded_retry_after(response: &str) -> Option<u64> {
+    let fields = symclust_engine::json::parse_object(response).ok()?;
+    if fields
+        .get("error")
+        .and_then(symclust_engine::json::JsonValue::as_str)
+        != Some("overloaded")
+    {
+        return None;
+    }
+    Some(
+        fields
+            .get("retry-after-ms")
+            .and_then(symclust_engine::json::JsonValue::as_f64)
+            .map_or(protocol::RETRY_AFTER_MS, |ms| ms.max(0.0) as u64),
+    )
 }
 
 fn request_response<S: std::io::Read + std::io::Write>(
@@ -596,7 +665,7 @@ fn build_request_line(args: &ParsedArgs) -> Result<String, String> {
             obj.string("key", args.required("key")?);
             obj.number("node", args.get_or("node", 0usize)? as f64);
         }
-        "stats" | "shutdown" => {}
+        "stats" | "health" | "shutdown" => {}
         other => return Err(format!("unknown op '{other}' for --op")),
     }
     Ok(obj.finish())
@@ -996,6 +1065,57 @@ mod tests {
     }
 
     #[test]
+    fn overloaded_retry_hint_parses_only_overloaded_lines() {
+        assert_eq!(
+            overloaded_retry_after(
+                r#"{"ok":false,"error":"overloaded","retry-after-ms":75,"detail":"x"}"#
+            ),
+            Some(75)
+        );
+        assert_eq!(
+            overloaded_retry_after(r#"{"ok":false,"error":"overloaded","detail":"x"}"#),
+            Some(protocol::RETRY_AFTER_MS)
+        );
+        assert_eq!(overloaded_retry_after(r#"{"ok":true,"op":"stats"}"#), None);
+        assert_eq!(
+            overloaded_retry_after(r#"{"ok":false,"error":"internal","detail":"x"}"#),
+            None
+        );
+        assert_eq!(overloaded_retry_after("not json"), None);
+    }
+
+    #[test]
+    fn client_rejects_zero_retries() {
+        let err = client(&args(&[
+            ("socket", "/nonexistent/symclust.sock"),
+            ("op", "stats"),
+            ("retries", "0"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--retries"), "{err}");
+    }
+
+    #[test]
+    fn client_retries_connect_failures_then_gives_up() {
+        let sock = tmp("never_served.sock");
+        std::fs::remove_file(&sock).ok();
+        let start = std::time::Instant::now();
+        let err = client(&args(&[
+            ("socket", &sock),
+            ("op", "stats"),
+            ("retries", "2"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("connecting to"), "{err}");
+        // Two attempts means one backoff slept in between (equal jitter
+        // keeps it at >= base/2 = 25 ms).
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(25),
+            "no backoff happened"
+        );
+    }
+
+    #[test]
     fn serve_and_client_subcommands_roundtrip() {
         let dir = std::env::temp_dir().join(format!("symclust_cli_serve_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
@@ -1025,6 +1145,7 @@ mod tests {
         ]))
         .unwrap();
         client(&args(&[("socket", &sock), ("op", "stats")])).unwrap();
+        client(&args(&[("socket", &sock), ("op", "health")])).unwrap();
         // A daemon-side error response makes the client exit nonzero.
         let err = client(&args(&[
             ("socket", &sock),

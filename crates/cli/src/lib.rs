@@ -19,6 +19,7 @@
 //! ```
 
 pub mod args;
+pub mod chaos;
 pub mod commands;
 pub mod formats;
 pub mod protocol;
@@ -50,6 +51,7 @@ pub fn run(argv: &[String]) -> i32 {
         "nibble" => commands::nibble(&parsed),
         "serve" => commands::serve(&parsed),
         "client" => commands::client(&parsed),
+        "chaos" => chaos::chaos(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             return 0;
@@ -100,15 +102,28 @@ SUBCOMMANDS:
               --input FILE --seed-node N [--directed true|false]
   serve       long-running clustering daemon over a unix socket
               (newline-delimited flat JSON; artifacts cached in a
-              disk-backed content-addressed store)
+              disk-backed content-addressed store; SIGTERM/SIGINT and
+              the shutdown op drain: admitted work finishes, stats
+              persist, the socket is unlinked)
               [--socket PATH | --tcp ADDR] [--store DIR]
               [--workers N] [--queue-cap N] [--timeout-ms MS]
-              [--store-budget-bytes B]
+              [--store-budget-bytes B] [--drain-ms MS]
+              [--read-timeout-ms MS]
   client      send one request to a running daemon, print the response
-              (--socket PATH | --tcp ADDR)
+              (retries connect failures and overloaded pushback with
+              deterministic exponential backoff)
+              (--socket PATH | --tcp ADDR) [--retries N]
               (--json LINE | --op OP [--graph KEY] [--method M]
                [--algo A] [--k K] [--inflation I] [--budget B]
                [--edges-file FILE] [--key KEY] [--node N]
                [--id ID] [--timeout-ms MS])
+              ops: upload-graph symmetrize cluster query-membership
+               stats health shutdown
+  chaos       scripted kill-and-restart loops against a real daemon
+              under deterministic I/O fault injection, asserting
+              crash-consistency invariants after every cycle (needs a
+              binary built with --features fault-injection)
+              [--seed N] [--cycles C] [--dir D] [--budget-bytes B]
+              [--keep]
   help        print this message"
 }

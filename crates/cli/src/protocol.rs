@@ -74,6 +74,11 @@ pub enum Request {
     },
     /// Store and daemon counters.
     Stats,
+    /// Readiness probe: answered out-of-band of the admission queue
+    /// (from atomics only), so it works even while the daemon drains or
+    /// the queue is full. Excluded from the byte-determinism guarantee —
+    /// it reports live state (queue depth, drain progress) by design.
+    Health,
     /// Orderly daemon shutdown.
     Shutdown,
 }
@@ -213,11 +218,12 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             node: get_usize(&map, "node")?.ok_or("field 'node' is required")?,
         },
         "stats" => Request::Stats,
+        "health" => Request::Health,
         "shutdown" => Request::Shutdown,
         other => {
             return Err(format!(
                 "unknown op '{other}' (upload-graph|symmetrize|cluster|\
-                 query-membership|stats|shutdown)"
+                 query-membership|stats|health|shutdown)"
             ))
         }
     };
@@ -236,6 +242,7 @@ pub fn op_name(request: &Request) -> &'static str {
         Request::Cluster { .. } => "cluster",
         Request::QueryMembership { .. } => "query-membership",
         Request::Stats => "stats",
+        Request::Health => "health",
         Request::Shutdown => "shutdown",
     }
 }
@@ -263,6 +270,30 @@ pub fn response_error(op: Option<&str>, id: Option<&str>, code: ErrorCode, detai
         obj.string("id", id);
     }
     obj.string("error", code.as_str());
+    obj.string("detail", detail);
+    obj.finish()
+}
+
+/// The backoff hint an `overloaded` response carries in `retry-after-ms`.
+/// One constant for now — queue pressure clears on the order of one
+/// request, and a fancier adaptive hint would leak scheduling state into
+/// response bytes.
+pub const RETRY_AFTER_MS: u64 = 50;
+
+/// A complete `overloaded` error line carrying the `retry-after-ms`
+/// backoff hint ([`RETRY_AFTER_MS`]); clients honor it as a floor on
+/// their next retry delay.
+pub fn response_overloaded(op: Option<&str>, id: Option<&str>, detail: &str) -> String {
+    let mut obj = JsonObject::new();
+    obj.boolean("ok", false);
+    if let Some(op) = op {
+        obj.string("op", op);
+    }
+    if let Some(id) = id {
+        obj.string("id", id);
+    }
+    obj.string("error", ErrorCode::Overloaded.as_str());
+    obj.number("retry-after-ms", RETRY_AFTER_MS as f64);
     obj.string("detail", detail);
     obj.finish()
 }
@@ -319,6 +350,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"stats"}"#).unwrap().request,
             Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#).unwrap().request,
+            Request::Health
         );
         assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap().request,
@@ -388,6 +423,18 @@ mod tests {
         let err = response_error(Some("cluster"), None, ErrorCode::Overloaded, "queue full");
         assert!(err.contains(r#""error":"overloaded""#));
         assert!(parse_object(&err).is_ok());
+    }
+
+    #[test]
+    fn overloaded_responses_carry_the_retry_hint() {
+        let line = response_overloaded(Some("cluster"), Some("r9"), "queue full");
+        let fields = parse_object(&line).unwrap();
+        assert_eq!(fields["error"].as_str(), Some("overloaded"));
+        assert_eq!(fields["id"].as_str(), Some("r9"));
+        assert_eq!(
+            fields["retry-after-ms"].as_f64(),
+            Some(RETRY_AFTER_MS as f64)
+        );
     }
 
     #[test]

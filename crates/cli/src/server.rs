@@ -21,6 +21,16 @@
 //! [`crate::protocol`]); cache behavior is visible through the `stats`
 //! op and the `serve.*` / `store.*` metrics, never through response
 //! bytes.
+//!
+//! Shutdown is a **drain**, not a halt: `shutdown` requests, SIGTERM,
+//! and SIGINT all flip one flag, after which the accept loop exits,
+//! readers refuse new work (`health` excepted), and workers finish the
+//! admitted queue before exiting — bounded by a drain deadline that
+//! cancels whatever is still in flight. The last act of
+//! [`Server::join`] persists the store's stats sidecar so restart
+//! counters carry over. The `health` op is answered inline by the
+//! reader thread, out-of-band of the admission queue, so probes work
+//! even when the queue is full or the daemon is draining.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -88,11 +98,18 @@ pub struct ServeOptions {
     pub default_timeout_ms: Option<u64>,
     /// Store eviction budget in bytes (`None` = unbounded).
     pub store_budget_bytes: Option<u64>,
+    /// Drain deadline: how long a shutdown waits for admitted work
+    /// before cancelling whatever is still in flight.
+    pub drain_ms: u64,
+    /// Per-connection read timeout; a connection that stalls mid-line
+    /// longer than this is closed (`None` = wait forever).
+    pub read_timeout_ms: Option<u64>,
 }
 
 impl ServeOptions {
     /// Defaults: unix socket `path`, store beside it, 2 workers,
-    /// 64-deep queue, no default deadline, unbounded store.
+    /// 64-deep queue, no default deadline, unbounded store, 2 s drain,
+    /// no read timeout.
     pub fn unix(socket: impl Into<PathBuf>, store_dir: impl Into<PathBuf>) -> Self {
         ServeOptions {
             bind: BindAddr::Unix(socket.into()),
@@ -101,6 +118,8 @@ impl ServeOptions {
             queue_cap: 64,
             default_timeout_ms: None,
             store_budget_bytes: None,
+            drain_ms: 2000,
+            read_timeout_ms: None,
         }
     }
 }
@@ -175,6 +194,18 @@ struct Job {
     writer: SharedWriter,
     registry: Arc<ConnTokens>,
     slot: usize,
+    /// Slot in the server-wide [`ServerState::active`] registry, which
+    /// the drain watchdog cancels when the deadline passes.
+    active_slot: usize,
+}
+
+impl Job {
+    /// Releases both registry slots (per-connection and server-wide);
+    /// every exit path of a job must end here exactly once.
+    fn release(&self, state: &ServerState) {
+        self.registry.release(self.slot);
+        state.active.release(self.active_slot);
+    }
 }
 
 /// Shared daemon state.
@@ -188,6 +219,12 @@ struct ServerState {
     shutdown: AtomicBool,
     queue_depth: AtomicUsize,
     default_timeout_ms: Option<u64>,
+    workers: usize,
+    drain_ms: u64,
+    read_timeout_ms: Option<u64>,
+    /// Every in-flight request's token, across all connections — what
+    /// the drain watchdog cancels when the deadline passes.
+    active: ConnTokens,
 }
 
 impl ServerState {
@@ -212,17 +249,60 @@ impl ServerState {
         let mut graphs = self.graphs.lock().unwrap_or_else(PoisonError::into_inner);
         Some(Arc::clone(graphs.entry(fp).or_insert(g)))
     }
+}
 
-    /// Flips the shutdown flag and wakes the accept loop with a
-    /// throwaway connection so it observes the flag.
-    fn begin_shutdown(&self) {
-        if self.shutdown.swap(true, Ordering::AcqRel) {
-            return;
+/// Begins the drain: flips the shutdown flag, arms the drain-deadline
+/// watchdog (which cancels every still-active token once `drain_ms`
+/// passes), and wakes the accept loop with a throwaway connection so it
+/// observes the flag. Idempotent — the `shutdown` op, SIGTERM/SIGINT,
+/// and [`Server::shutdown`] all funnel here.
+fn begin_shutdown(state: &Arc<ServerState>) {
+    if state.shutdown.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let watchdog = Arc::clone(state);
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(watchdog.drain_ms));
+        watchdog.active.cancel_all();
+    });
+    match &state.endpoint {
+        Endpoint::Unix(p) => drop(UnixStream::connect(p)),
+        Endpoint::Tcp(a) => drop(TcpStream::connect(a)),
+    }
+}
+
+/// SIGTERM/SIGINT handling without any signal-crate dependency: the
+/// handler only flips one static flag (the async-signal-safe minimum),
+/// and [`Server::drain_on_termination`] polls it from an ordinary
+/// thread, translating "the operator asked us to stop" into the same
+/// drain path as the `shutdown` op.
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATE.store(true, Ordering::Release);
+    }
+
+    /// Installs the SIGTERM/SIGINT handlers. Call once, before serving.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
         }
-        match &self.endpoint {
-            Endpoint::Unix(p) => drop(UnixStream::connect(p)),
-            Endpoint::Tcp(a) => drop(TcpStream::connect(a)),
-        }
+    }
+
+    /// Whether a termination signal has arrived since [`install`].
+    pub fn termination_requested() -> bool {
+        TERMINATE.load(Ordering::Acquire)
     }
 }
 
@@ -263,6 +343,10 @@ impl Server {
             shutdown: AtomicBool::new(false),
             queue_depth: AtomicUsize::new(0),
             default_timeout_ms: opts.default_timeout_ms,
+            workers: opts.workers.max(1),
+            drain_ms: opts.drain_ms,
+            read_timeout_ms: opts.read_timeout_ms,
+            active: ConnTokens::new(),
         });
 
         let (tx, rx) = sync_channel::<Job>(opts.queue_cap.max(1));
@@ -302,10 +386,28 @@ impl Server {
 
     /// Programmatic shutdown (same path as the `shutdown` op).
     pub fn shutdown(&self) {
-        self.state.begin_shutdown();
+        begin_shutdown(&self.state);
     }
 
-    /// Blocks until the daemon has shut down and all threads exited.
+    /// Spawns a watcher thread that begins the drain when a SIGTERM or
+    /// SIGINT handled by [`signals::install`] arrives. The thread exits
+    /// once the daemon is draining for any reason.
+    pub fn drain_on_termination(&self) {
+        let state = Arc::clone(&self.state);
+        std::thread::spawn(move || loop {
+            if state.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            if signals::termination_requested() {
+                begin_shutdown(&state);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
+    /// Blocks until the daemon has drained and all threads exited, then
+    /// persists the store's stats sidecar so counters survive restart.
     pub fn join(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -313,6 +415,7 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.state.store.flush_stats();
     }
 }
 
@@ -344,14 +447,17 @@ fn bind(addr: &BindAddr) -> Result<(Listener, Endpoint), String> {
 }
 
 fn accept_loop(listener: Listener, state: &Arc<ServerState>, queue: &SyncSender<Job>) {
+    let read_timeout = state.read_timeout_ms.map(Duration::from_millis);
     loop {
         let split: std::io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> = match &listener
         {
             Listener::Unix(l) => l.accept().and_then(|(s, _)| {
+                s.set_read_timeout(read_timeout)?;
                 let r = s.try_clone()?;
                 Ok((Box::new(r) as _, Box::new(s) as _))
             }),
             Listener::Tcp(l) => l.accept().and_then(|(s, _)| {
+                s.set_read_timeout(read_timeout)?;
                 let r = s.try_clone()?;
                 Ok((Box::new(r) as _, Box::new(s) as _))
             }),
@@ -411,11 +517,32 @@ fn handle_connection(
                 continue;
             }
         };
+        // Health is answered here, out-of-band of the admission queue:
+        // a probe must work when the queue is full and while draining.
+        if matches!(env.request, Request::Health) {
+            write_line(&writer, &health_response(state, &env));
+            continue;
+        }
+        // Once draining, no new work is admitted; queued work finishes.
+        if state.shutdown.load(Ordering::Acquire) {
+            state.metrics.counter(metric_names::SERVE_ERRORS).inc();
+            write_line(
+                &writer,
+                &protocol::response_error(
+                    Some(protocol::op_name(&env.request)),
+                    env.id.as_deref(),
+                    ErrorCode::Internal,
+                    "daemon is draining; no new work admitted",
+                ),
+            );
+            continue;
+        }
         let token = match env.timeout_ms.or(state.default_timeout_ms) {
             Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
             None => CancelToken::new(),
         };
         let slot = registry.register(token.clone());
+        let active_slot = state.active.register(token.clone());
         let job = Job {
             env,
             token,
@@ -423,6 +550,7 @@ fn handle_connection(
             writer: Arc::clone(&writer),
             registry: Arc::clone(&registry),
             slot,
+            active_slot,
         };
         // Count the job in *before* sending: a worker may dequeue (and
         // decrement) the instant try_send returns.
@@ -439,14 +567,13 @@ fn handle_connection(
                 state.metrics.counter(metric_names::SERVE_ERRORS).inc();
                 write_line(
                     &job.writer,
-                    &protocol::response_error(
+                    &protocol::response_overloaded(
                         Some(protocol::op_name(&job.env.request)),
                         job.env.id.as_deref(),
-                        ErrorCode::Overloaded,
                         "admission queue is full; retry later",
                     ),
                 );
-                job.registry.release(job.slot);
+                job.release(state);
             }
             Err(TrySendError::Disconnected(job)) => {
                 state.queue_depth.fetch_sub(1, Ordering::Relaxed);
@@ -459,7 +586,7 @@ fn handle_connection(
                         "daemon is shutting down",
                     ),
                 );
-                job.registry.release(job.slot);
+                job.release(state);
                 break;
             }
         }
@@ -472,16 +599,22 @@ fn handle_connection(
 
 fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>) {
     loop {
-        if state.shutdown.load(Ordering::Acquire) {
-            break;
-        }
         let job = {
             let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
             guard.recv_timeout(Duration::from_millis(100))
         };
         let job = match job {
             Ok(job) => job,
-            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Timeout) => {
+                // Drain semantics: a worker only exits on an *empty*
+                // queue once shutdown has begun, so every admitted
+                // request gets a response (the drain watchdog bounds
+                // how long a stuck one can hold the pool up).
+                if state.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
             Err(RecvTimeoutError::Disconnected) => break,
         };
         state.queue_depth.fetch_sub(1, Ordering::Relaxed);
@@ -494,12 +627,30 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>) {
             let response = execute(state, &job);
             write_line(&job.writer, &response);
         }
-        job.registry.release(job.slot);
+        job.release(state);
         if is_shutdown {
-            state.begin_shutdown();
-            break;
+            // Begin the drain but keep looping: this worker helps
+            // finish whatever was admitted before the flag flipped.
+            begin_shutdown(state);
         }
     }
+}
+
+/// Renders the `health` response from live daemon state. Deliberately
+/// *not* part of the byte-determinism contract — a probe reports queue
+/// depth and drain progress, which change between identical requests.
+fn health_response(state: &ServerState, env: &Envelope) -> String {
+    let draining = state.shutdown.load(Ordering::Acquire);
+    let mut resp = protocol::response_ok("health", env.id.as_deref());
+    resp.string("state", if draining { "draining" } else { "ready" });
+    resp.number(
+        "queue-depth",
+        state.queue_depth.load(Ordering::Relaxed) as f64,
+    );
+    resp.number("workers", state.workers as f64);
+    resp.boolean("store-degraded", state.store.is_degraded());
+    resp.number("store-blobs", state.store.stats().blobs as f64);
+    resp.finish()
 }
 
 /// Maps a kernel failure onto the wire error-code set: a tripped token
@@ -720,6 +871,8 @@ fn execute(state: &ServerState, job: &Job) -> String {
             resp.number("store-quarantined", s.quarantined as f64);
             resp.number("store-blobs", s.blobs as f64);
             resp.number("store-bytes", s.bytes as f64);
+            resp.number("store-stats-persist-errors", s.stats_persist_errors as f64);
+            resp.boolean("store-degraded", s.degraded);
             resp.number(
                 "graphs",
                 state
@@ -738,6 +891,9 @@ fn execute(state: &ServerState, job: &Job) -> String {
             );
             resp.finish()
         }
+        // Health never reaches the queue (the reader answers it inline);
+        // this arm only exists so the match stays exhaustive.
+        Request::Health => health_response(state, &job.env),
         Request::Shutdown => protocol::response_ok(op, id).finish(),
     }
 }
@@ -914,6 +1070,98 @@ mod tests {
             r#"{"op":"symmetrize","graph":"0000000000001234","method":"aat"}"#,
         );
         assert!(resp.contains(r#""error":"not-found""#), "{resp}");
+        server.shutdown();
+        server.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_reports_ready_state_and_pool_shape() {
+        let (server, dir) = start("health");
+        let mut c = connect(&server);
+        let h = roundtrip(&mut c, r#"{"op":"health","id":"h1"}"#);
+        let fields = symclust_engine::json::parse_object(&h).unwrap();
+        assert_eq!(fields["ok"].as_bool(), Some(true));
+        assert_eq!(fields["state"].as_str(), Some("ready"));
+        assert_eq!(fields["id"].as_str(), Some("h1"));
+        assert_eq!(fields["workers"].as_f64(), Some(2.0));
+        assert_eq!(fields["store-degraded"].as_bool(), Some(false));
+        assert!(fields["queue-depth"].as_f64().is_some(), "{h}");
+        server.shutdown();
+        server.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn draining_daemon_answers_health_but_refuses_new_work() {
+        let (server, dir) = start("drain_refuse");
+        let mut c = connect(&server);
+        assert!(roundtrip(&mut c, r#"{"op":"health"}"#).contains(r#""state":"ready""#));
+        server.shutdown();
+        // The connection predates the drain, so its reader still
+        // answers health probes inline — but admits nothing new.
+        let h = roundtrip(&mut c, r#"{"op":"health"}"#);
+        assert!(h.contains(r#""state":"draining""#), "{h}");
+        let refused = roundtrip(&mut c, r#"{"op":"stats"}"#);
+        assert!(refused.contains(r#""error":"internal""#), "{refused}");
+        assert!(refused.contains("draining"), "{refused}");
+        server.join();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_and_persists_stats() {
+        let dir = temp_dir("drain_queue");
+        let mut opts = ServeOptions::unix(dir.join("sock"), dir.join("store"));
+        opts.workers = 1;
+        let server = Server::start(opts).unwrap();
+        let mut c = connect(&server);
+        // Pipeline a real request and the shutdown in one write: the
+        // single worker must answer both before exiting.
+        use std::io::Write as _;
+        c.write_all(
+            concat!(
+                r#"{"op":"upload-graph","edges":"0 1\n1 0\n","id":"u"}"#,
+                "\n",
+                r#"{"op":"shutdown","id":"s"}"#,
+                "\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert!(first.contains(r#""ok":true"#), "{first}");
+        assert!(first.contains("upload-graph"), "{first}");
+        let mut second = String::new();
+        reader.read_line(&mut second).unwrap();
+        assert!(second.contains(r#""ok":true"#), "{second}");
+        assert!(second.contains("shutdown"), "{second}");
+        server.join();
+        // join()'s last act: the stats sidecar is on disk.
+        assert!(
+            dir.join("store").join("stats.json").exists(),
+            "drain must persist stats.json"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stalled_connections_are_closed_when_read_timeout_is_set() {
+        let dir = temp_dir("read_timeout");
+        let mut opts = ServeOptions::unix(dir.join("sock"), dir.join("store"));
+        opts.read_timeout_ms = Some(100);
+        let server = Server::start(opts).unwrap();
+        let mut c = connect(&server);
+        // Half a request line, never completed: the reader's timeout
+        // must fire and close the connection instead of hanging.
+        use std::io::Write as _;
+        c.write_all(br#"{"op":"heal"#).unwrap();
+        let mut reader = BufReader::new(c.try_clone().unwrap());
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap();
+        assert_eq!(n, 0, "server must close the stalled connection: {line}");
         server.shutdown();
         server.join();
         std::fs::remove_dir_all(&dir).ok();

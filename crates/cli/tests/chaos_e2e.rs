@@ -1,0 +1,74 @@
+#![cfg(feature = "fault-injection")]
+//! Smoke test for the chaos harness itself: a short scripted
+//! kill-and-restart run against the real binary must complete with zero
+//! invariant violations. The full 25-cycle sweep runs in CI's chaos
+//! stage; this keeps the harness honest under plain
+//! `cargo test --features fault-injection`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symclust_chaos_e2e_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn a_short_chaos_run_reports_zero_violations() {
+    let dir = temp_dir("short");
+    let out = Command::new(env!("CARGO_BIN_EXE_symclust"))
+        .args([
+            "chaos",
+            "--seed",
+            "7",
+            "--cycles",
+            "4",
+            "--dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run symclust chaos");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos run failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("chaos: done") && stdout.contains("0 violation(s)"),
+        "expected a zero-violation summary\nstdout:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_seeds_are_reproducible_across_runs() {
+    let run = |dir: &PathBuf| {
+        let out = Command::new(env!("CARGO_BIN_EXE_symclust"))
+            .args([
+                "chaos",
+                "--seed",
+                "11",
+                "--cycles",
+                "3",
+                "--dir",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run symclust chaos");
+        assert!(
+            out.status.success(),
+            "chaos run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a_dir = temp_dir("repro_a");
+    let b_dir = temp_dir("repro_b");
+    let a = run(&a_dir);
+    let b = run(&b_dir);
+    assert_eq!(a, b, "same seed must produce an identical chaos report");
+    std::fs::remove_dir_all(&a_dir).ok();
+    std::fs::remove_dir_all(&b_dir).ok();
+}

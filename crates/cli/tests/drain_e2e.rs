@@ -1,0 +1,130 @@
+//! Graceful-degradation e2e: a real `symclust serve` process receiving
+//! SIGTERM must drain — stop accepting, finish admitted work, persist
+//! stats, unlink its socket — and exit zero. Exercises the installed
+//! signal handler, which in-process `Server` tests cannot reach.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symclust_drain_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_daemon(socket: &Path, store: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_symclust"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--drain-ms",
+            "2000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn symclust serve")
+}
+
+fn wait_for_socket(child: &mut Child, socket: &Path) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(s) = UnixStream::connect(socket) {
+            return s;
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("daemon exited before becoming ready: {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_for_exit(child: &mut Child) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            child.kill().ok();
+            child.wait().ok();
+            panic!("daemon did not exit within 10s of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigterm_drains_persists_stats_and_unlinks_the_socket() {
+    let dir = temp_dir("sigterm");
+    let socket = dir.join("sock");
+    let store = dir.join("store");
+    let mut child = spawn_daemon(&socket, &store);
+
+    // Do one real piece of work so the drain has stats worth persisting.
+    let mut conn = wait_for_socket(&mut child, &socket);
+    conn.write_all(b"{\"op\":\"upload-graph\",\"graph\":\"g\",\"edges\":\"0 1\\n1 2\\n2 0\\n\"}\n")
+        .unwrap();
+    let mut reply = String::new();
+    BufReader::new(conn.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(reply.contains(r#""ok":true"#), "{reply}");
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+
+    let status = wait_for_exit(&mut child);
+    assert!(
+        status.success(),
+        "daemon exited non-zero after SIGTERM: {status}"
+    );
+    assert!(
+        !socket.exists(),
+        "socket file must be unlinked by the drain"
+    );
+    let stats = store.join("stats.json");
+    assert!(stats.exists(), "stats.json must be persisted before exit");
+    let body = std::fs::read_to_string(&stats).unwrap();
+    assert!(
+        body.trim_start().starts_with('{') && body.trim_end().ends_with('}'),
+        "stats.json must be a complete document, got: {body}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigint_is_an_equivalent_drain_trigger() {
+    let dir = temp_dir("sigint");
+    let socket = dir.join("sock");
+    let store = dir.join("store");
+    let mut child = spawn_daemon(&socket, &store);
+    drop(wait_for_socket(&mut child, &socket));
+
+    let int = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(int.success(), "kill -INT failed");
+
+    let status = wait_for_exit(&mut child);
+    assert!(
+        status.success(),
+        "daemon exited non-zero after SIGINT: {status}"
+    );
+    assert!(!socket.exists(), "socket file must be unlinked");
+    std::fs::remove_dir_all(&dir).ok();
+}

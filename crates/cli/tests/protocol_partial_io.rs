@@ -1,0 +1,204 @@
+//! Protocol framing under partial I/O: request bytes trickling in one
+//! at a time, several requests landing in one segment, and connections
+//! that die (or stall) mid-line must never yield a malformed frame, a
+//! spurious response, or a hung daemon.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use symclust_cli::server::{Endpoint, ServeOptions, Server};
+use symclust_engine::json::parse_object;
+
+static TEST_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "symclust_partial_io_{}_{tag}_{n}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(tag: &str) -> (Server, PathBuf) {
+    let dir = temp_dir(tag);
+    let mut opts = ServeOptions::unix(dir.join("sock"), dir.join("store"));
+    // One worker makes queued responses FIFO, which the coalescing test
+    // leans on to tell reordering apart from out-of-band health.
+    opts.workers = 1;
+    let server = Server::start(opts).unwrap();
+    (server, dir)
+}
+
+fn connect(server: &Server) -> UnixStream {
+    match server.endpoint() {
+        Endpoint::Unix(path) => UnixStream::connect(path).unwrap(),
+        Endpoint::Tcp(_) => unreachable!("these tests use unix sockets"),
+    }
+}
+
+fn read_response(stream: &UnixStream) -> String {
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    line.trim_end().to_string()
+}
+
+/// A request delivered one byte at a time — dozens of short reads on
+/// the server side — still parses into exactly one well-formed frame.
+#[test]
+fn byte_by_byte_writes_yield_one_well_formed_response() {
+    let (server, dir) = start("bytewise");
+    let mut c = connect(&server);
+    let request = b"{\"op\":\"stats\",\"id\":\"slow\"}\n";
+    for &b in request.iter() {
+        c.write_all(&[b]).unwrap();
+        c.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let resp = read_response(&c);
+    let fields = parse_object(&resp).unwrap_or_else(|e| panic!("malformed frame {resp}: {e}"));
+    assert_eq!(fields["ok"].as_bool(), Some(true), "{resp}");
+    assert_eq!(fields["id"].as_str(), Some("slow"), "{resp}");
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Several requests coalesced into one write (the mirror image of a
+/// short read) are answered one intact frame each. Ordering is asserted
+/// only per class: health is answered out-of-band by the reader thread
+/// and may legally overtake queued work, but queued work stays FIFO
+/// relative to itself and no frame may be torn or merged.
+#[test]
+fn coalesced_requests_get_one_frame_each() {
+    let (server, dir) = start("coalesced");
+    let mut c = connect(&server);
+    c.write_all(
+        concat!(
+            r#"{"op":"stats","id":"a"}"#,
+            "\n",
+            r#"{"op":"health","id":"b"}"#,
+            "\n",
+            r#"{"op":"stats","id":"c"}"#,
+            "\n"
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut reader = BufReader::new(c.try_clone().unwrap());
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let fields =
+            parse_object(line.trim_end()).unwrap_or_else(|e| panic!("malformed frame {line}: {e}"));
+        assert_eq!(fields["ok"].as_bool(), Some(true), "{line}");
+        ids.push(fields["id"].as_str().unwrap().to_string());
+    }
+    let mut sorted = ids.clone();
+    sorted.sort();
+    assert_eq!(
+        sorted,
+        ["a", "b", "c"],
+        "each request answered exactly once"
+    );
+    let queued: Vec<&String> = ids.iter().filter(|id| *id != "b").collect();
+    assert_eq!(
+        queued,
+        [&"a".to_string(), &"c".to_string()],
+        "queued work stays FIFO: {ids:?}"
+    );
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A response trickled out of the client's receive buffer one byte at a
+/// time is still a complete newline-terminated frame.
+#[test]
+fn responses_survive_byte_by_byte_client_reads() {
+    let (server, dir) = start("bytewise_read");
+    let mut c = connect(&server);
+    c.write_all(b"{\"op\":\"health\"}\n").unwrap();
+    let mut buf = Vec::new();
+    let mut one = [0u8; 1];
+    loop {
+        let n = c.read(&mut one).unwrap();
+        assert!(n > 0, "connection closed before the frame completed");
+        if one[0] == b'\n' {
+            break;
+        }
+        buf.push(one[0]);
+    }
+    let resp = String::from_utf8(buf).unwrap();
+    let fields = parse_object(&resp).unwrap_or_else(|e| panic!("malformed frame {resp}: {e}"));
+    assert_eq!(fields["state"].as_str(), Some("ready"), "{resp}");
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A connection that dies mid-line must not produce a response, must
+/// not be seen as a (truncated) valid request, and must leave the
+/// daemon fully serviceable for the next client.
+#[test]
+fn interrupted_writes_never_become_truncated_requests() {
+    let (server, dir) = start("interrupted");
+    {
+        let mut c = connect(&server);
+        // A prefix of a syntactically valid stats request, then gone.
+        c.write_all(br#"{"op":"stat"#).unwrap();
+        c.flush().unwrap();
+    } // dropped: half-line dies with the connection
+    {
+        let mut c = connect(&server);
+        // A complete frame followed by a dangling fragment.
+        c.write_all(b"{\"op\":\"stats\",\"id\":\"whole\"}\n{\"op\":\"shutd")
+            .unwrap();
+        let resp = read_response(&c);
+        assert!(resp.contains(r#""id":"whole""#), "{resp}");
+    }
+    // The daemon took no damage — and crucially, the dangling
+    // `{"op":"shutd` fragment was never parsed as a shutdown.
+    let c = connect(&server);
+    (&c).write_all(b"{\"op\":\"health\"}\n").unwrap();
+    let resp = read_response(&c);
+    assert!(resp.contains(r#""state":"ready""#), "{resp}");
+    assert_eq!(
+        server.metrics().counter("serve.requests").get(),
+        1,
+        "only the one complete frame may have been admitted"
+    );
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With a read timeout configured, a client that stalls forever halfway
+/// through a line is disconnected instead of pinning its reader thread.
+#[test]
+fn stalled_half_lines_hit_the_read_deadline() {
+    let dir = temp_dir("stall");
+    let mut opts = ServeOptions::unix(dir.join("sock"), dir.join("store"));
+    opts.read_timeout_ms = Some(150);
+    let server = Server::start(opts).unwrap();
+    let mut c = connect(&server);
+    c.write_all(br#"{"op":"he"#).unwrap();
+    c.flush().unwrap();
+    // The server must close the connection once the deadline fires; a
+    // blocking read on our side then sees EOF rather than hanging.
+    c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 16];
+    let n = c.read(&mut buf).expect("server must close, not stall");
+    assert_eq!(n, 0, "expected EOF, got data: {:?}", &buf[..n]);
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

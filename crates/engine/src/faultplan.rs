@@ -1,0 +1,240 @@
+//! Shared fault-schedule plumbing for deterministic I/O fault injection.
+//!
+//! [`faultpoint`](crate::faultpoint) (feature-gated) answers "what should
+//! *this named stage* do when it fires"; this module answers the lower-level
+//! scheduling question the store's `FaultFs` shim and the `symclust chaos`
+//! harness share: *which* numbered filesystem operation misbehaves, *how*,
+//! and with what seeded randomness — without any process-local RNG or clock,
+//! so a schedule is reproducible from its textual spec alone.
+//!
+//! A [`FaultSpec`] round-trips through a compact `key=value;key=value`
+//! string (the `SYMCLUST_FAULTFS` environment variable): the harness
+//! [`render`](FaultSpec::render)s one per chaos cycle and hands it to the
+//! daemon child process, whose shim [`parse`](FaultSpec::parse)s it back.
+//! Derived quantities — torn-write prefix lengths, per-cycle fault family
+//! choices — come from [`mix`], a SplitMix64-style bit mixer, so both sides
+//! agree on every byte without communicating beyond the spec.
+//!
+//! This module is always compiled (it is plain data and arithmetic and
+//! injects nothing by itself); only the store's shim behavior sits behind
+//! the `fault-injection` feature.
+
+use std::fmt;
+
+/// The error kind an [`FaultSpec::err_at`] operation fails with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultErrno {
+    /// `EIO` (raw OS error 5): a generic device-level I/O failure.
+    Eio,
+    /// `ENOSPC` (raw OS error 28): the disk is full.
+    Enospc,
+}
+
+impl FaultErrno {
+    /// The raw OS error number to construct the injected `io::Error` from.
+    pub fn raw_os_error(self) -> i32 {
+        match self {
+            FaultErrno::Eio => 5,
+            FaultErrno::Enospc => 28,
+        }
+    }
+
+    /// The spec-string token (`eio` / `enospc`).
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultErrno::Eio => "eio",
+            FaultErrno::Enospc => "enospc",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "eio" => Ok(FaultErrno::Eio),
+            "enospc" => Ok(FaultErrno::Enospc),
+            other => Err(format!("unknown errno token {other:?} (want eio|enospc)")),
+        }
+    }
+}
+
+impl fmt::Display for FaultErrno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// A deterministic schedule of filesystem faults, keyed by the global
+/// operation counter the `FaultFs` shim maintains (every mediated syscall
+/// increments it by one, so "operation `K`" names the same syscall in every
+/// run of the same workload).
+///
+/// All fields are optional and compose; an empty spec injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for derived quantities (torn-write prefix lengths via [`mix`]).
+    pub seed: u64,
+    /// Abort the process at operation `K` — after writing a seeded prefix
+    /// of the data for write-type operations (a torn write), immediately
+    /// for everything else (a crash at the syscall boundary).
+    pub crash_at: Option<u64>,
+    /// Fail operation `K` once with the given errno (covers `EIO`,
+    /// one-shot `ENOSPC`, and rename failure — whichever syscall `K` is).
+    pub err_at: Option<(u64, FaultErrno)>,
+    /// From operation `K` onward, every *mutating* operation fails with
+    /// `ENOSPC` — a persistently full disk. Reads keep succeeding, which
+    /// is exactly the regime the store's degraded mode serves.
+    pub enospc_after: Option<u64>,
+    /// Read operation `K` returns a seeded prefix of the file instead of
+    /// its full contents (a short read; checksums catch it downstream).
+    pub short_read_at: Option<u64>,
+}
+
+impl FaultSpec {
+    /// Whether the spec injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.crash_at.is_none()
+            && self.err_at.is_none()
+            && self.enospc_after.is_none()
+            && self.short_read_at.is_none()
+    }
+
+    /// Renders the spec as the `key=value;…` string [`parse`](Self::parse)
+    /// accepts (stable field order, so render∘parse is the identity).
+    pub fn render(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        if let Some(k) = self.crash_at {
+            parts.push(format!("crash-at={k}"));
+        }
+        if let Some((k, e)) = self.err_at {
+            parts.push(format!("err-at={k}:{e}"));
+        }
+        if let Some(k) = self.enospc_after {
+            parts.push(format!("enospc-after={k}"));
+        }
+        if let Some(k) = self.short_read_at {
+            parts.push(format!("short-read-at={k}"));
+        }
+        parts.join(";")
+    }
+
+    /// Parses a `key=value;…` spec string. Unknown keys are errors (a
+    /// typo that silently disables a fault would make a chaos run lie).
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        for part in s.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed fault spec part {part:?} (want key=value)"))?;
+            let int = |v: &str| -> Result<u64, String> {
+                v.parse::<u64>()
+                    .map_err(|e| format!("bad integer {v:?} for {key}: {e}"))
+            };
+            match key {
+                "seed" => spec.seed = int(value)?,
+                "crash-at" => spec.crash_at = Some(int(value)?),
+                "enospc-after" => spec.enospc_after = Some(int(value)?),
+                "short-read-at" => spec.short_read_at = Some(int(value)?),
+                "err-at" => {
+                    let (op, errno) = value.split_once(':').ok_or_else(|| {
+                        format!("malformed err-at value {value:?} (want K:eio|K:enospc)")
+                    })?;
+                    spec.err_at = Some((int(op)?, FaultErrno::parse(errno)?));
+                }
+                other => return Err(format!("unknown fault spec key {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The torn-write prefix length for a write of `len` bytes at
+    /// operation `op`: a seeded value in `0..len` (strictly short, so a
+    /// torn write is always observable as a truncation when `len > 0`).
+    pub fn torn_prefix_len(&self, op: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (mix(self.seed ^ 0x746f_726e, op) % len as u64) as usize
+    }
+}
+
+/// SplitMix64 bit mixer over `(seed, n)`: deterministic, well-distributed,
+/// and free of process state — the one source of "randomness" the fault
+/// schedule machinery is allowed (see the `cache-key-purity` lint).
+pub fn mix(seed: u64, n: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(n)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrips() {
+        let specs = [
+            FaultSpec::default(),
+            FaultSpec {
+                seed: 42,
+                crash_at: Some(17),
+                ..FaultSpec::default()
+            },
+            FaultSpec {
+                seed: 7,
+                err_at: Some((3, FaultErrno::Eio)),
+                enospc_after: Some(90),
+                short_read_at: Some(12),
+                ..FaultSpec::default()
+            },
+            FaultSpec {
+                seed: 0,
+                err_at: Some((0, FaultErrno::Enospc)),
+                ..FaultSpec::default()
+            },
+        ];
+        for spec in specs {
+            let text = spec.render();
+            assert_eq!(
+                FaultSpec::parse(&text),
+                Ok(spec),
+                "roundtrip failed for {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultSpec::parse("crash-at").is_err(), "missing value");
+        assert!(FaultSpec::parse("crash-at=x").is_err(), "non-integer");
+        assert!(FaultSpec::parse("err-at=3").is_err(), "missing errno");
+        assert!(FaultSpec::parse("err-at=3:ebadf").is_err(), "unknown errno");
+        assert!(FaultSpec::parse("frobnicate=1").is_err(), "unknown key");
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_and_empty_parts() {
+        let spec = FaultSpec::parse(" seed=9 ; crash-at=4 ;; ").unwrap();
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.crash_at, Some(4));
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(1, 2), mix(1, 2));
+        assert_ne!(mix(1, 2), mix(1, 3));
+        assert_ne!(mix(1, 2), mix(2, 2));
+        // Torn prefixes stay strictly shorter than the write.
+        let spec = FaultSpec {
+            seed: 5,
+            ..FaultSpec::default()
+        };
+        for op in 0..64 {
+            let len = spec.torn_prefix_len(op, 10);
+            assert!(len < 10);
+        }
+        assert_eq!(spec.torn_prefix_len(3, 0), 0);
+    }
+}

@@ -43,6 +43,7 @@
 pub mod cache;
 pub mod event;
 pub mod exec;
+pub mod faultplan;
 #[cfg(feature = "fault-injection")]
 pub mod faultpoint;
 pub mod fingerprint;

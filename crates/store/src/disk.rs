@@ -33,23 +33,42 @@
 //! process restarts: they are persisted to `stats.json` (atomic
 //! write-then-rename, no fsync — losing the very last update in a crash
 //! costs a counter tick, not correctness) and reloaded on open, so a
-//! daemon's `stats` response survives restarts.
+//! daemon's `stats` response survives restarts. Persist failures are
+//! counted (`store.stats_persist_errors`), never silently dropped.
+//!
+//! Every filesystem call goes through the [`crate::faultfs`] shim (the
+//! `store-faultfs` lint enforces it), so the chaos harness can inject
+//! schedule-deterministic crashes and errors under any of these syscalls.
+//! One injected regime gets first-class handling: a put that fails with
+//! `ENOSPC` flips the store into **degraded mode** — publication is
+//! suspended (callers still get their computed artifacts; most puts drop
+//! out early, every [`DEGRADED_PROBE_INTERVAL`]-th put probes the disk)
+//! while loads keep serving hits. The first successful probe clears the
+//! flag. The mode is surfaced via [`DiskStore::is_degraded`], the
+//! `store.degraded` gauge, and the daemon's `health`/`stats` ops.
 
 use std::collections::HashMap;
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use symclust_engine::json::{parse_object, JsonObject};
 use symclust_obs::MetricsRegistry;
 
 use crate::codec::{Artifact, ArtifactKind, StoreError};
+use crate::faultfs;
 use crate::metric_names;
 
 const STATS_FILE: &str = "stats.json";
 const BLOB_EXT: &str = "blob";
+
+/// While the store is in `ENOSPC` degraded mode, one put out of this many
+/// actually touches the disk to probe whether space came back; the rest
+/// return immediately without publishing.
+pub const DEGRADED_PROBE_INTERVAL: u64 = 16;
+
+/// The raw OS error number for `ENOSPC` ("no space left on device").
+const ENOSPC: i32 = 28;
 
 /// Configuration for a [`DiskStore`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -80,10 +99,14 @@ pub struct StoreStats {
     pub quarantined: u64,
     /// Publish attempts that failed at the filesystem layer.
     pub put_errors: u64,
+    /// Failed attempts to persist this very structure to `stats.json`.
+    pub stats_persist_errors: u64,
     /// Blobs currently published.
     pub blobs: u64,
     /// Total bytes of currently published blobs.
     pub bytes: u64,
+    /// Whether the store is currently in `ENOSPC` degraded mode.
+    pub degraded: bool,
 }
 
 struct Entry {
@@ -110,6 +133,10 @@ pub struct DiskStore {
     evictions: AtomicU64,
     quarantined: AtomicU64,
     put_errors: AtomicU64,
+    stats_persist_errors: AtomicU64,
+    // ENOSPC degraded mode: publication suspended, hits still served.
+    degraded: AtomicBool,
+    degraded_probe: AtomicU64,
     metrics: Option<MetricsRegistry>,
 }
 
@@ -122,8 +149,10 @@ const KINDS: [ArtifactKind; 2] = [ArtifactKind::Matrix, ArtifactKind::Clustering
 impl DiskStore {
     /// Opens (creating if needed) a store rooted at `root`: builds the
     /// blob index from a deterministic directory scan, sweeps dead temp
-    /// files from interrupted publications, and restores the cumulative
-    /// stats sidecar.
+    /// files from interrupted publications, restores the cumulative stats
+    /// sidecar, and re-enforces the byte budget (a crash between a
+    /// publication and its eviction sweep can leave the store over
+    /// budget; recovery must not).
     pub fn open(root: impl AsRef<Path>, options: StoreOptions) -> Result<Self, StoreError> {
         let root = root.as_ref().to_path_buf();
         let mut entries = HashMap::new();
@@ -131,8 +160,8 @@ impl DiskStore {
         let mut seq = 0u64;
         for kind in KINDS {
             let dir = root.join("blobs").join(kind.dir_name());
-            fs::create_dir_all(&dir).map_err(|e| io_err("creating", &dir, e))?;
-            let mut names: Vec<(String, PathBuf)> = fs::read_dir(&dir)
+            faultfs::create_dir_all(&dir).map_err(|e| io_err("creating", &dir, e))?;
+            let mut names: Vec<(String, PathBuf)> = faultfs::read_dir(&dir)
                 .map_err(|e| io_err("scanning", &dir, e))?
                 .filter_map(|entry| {
                     let entry = entry.ok()?;
@@ -148,13 +177,13 @@ impl DiskStore {
                 if name.starts_with(".tmp-") {
                     // Leftover from a publication interrupted mid-write;
                     // it was never renamed into place, so it is garbage.
-                    fs::remove_file(&path).map_err(|e| io_err("sweeping", &path, e))?;
+                    faultfs::remove_file(&path).map_err(|e| io_err("sweeping", &path, e))?;
                     continue;
                 }
                 let Some(key) = parse_blob_name(&name) else {
                     continue; // foreign file; leave it alone
                 };
-                let meta = fs::metadata(&path).map_err(|e| io_err("stat", &path, e))?;
+                let meta = faultfs::metadata(&path).map_err(|e| io_err("stat", &path, e))?;
                 let size = meta.len();
                 entries.insert((kind.tag(), key), Entry { size, seq });
                 total_bytes += size;
@@ -162,7 +191,7 @@ impl DiskStore {
             }
         }
         let qdir = root.join("quarantine");
-        fs::create_dir_all(&qdir).map_err(|e| io_err("creating", &qdir, e))?;
+        faultfs::create_dir_all(&qdir).map_err(|e| io_err("creating", &qdir, e))?;
 
         let persisted = load_stats_sidecar(&root.join(STATS_FILE));
         let store = DiskStore {
@@ -179,8 +208,32 @@ impl DiskStore {
             evictions: AtomicU64::new(persisted.evictions),
             quarantined: AtomicU64::new(persisted.quarantined),
             put_errors: AtomicU64::new(persisted.put_errors),
+            stats_persist_errors: AtomicU64::new(persisted.stats_persist_errors),
+            degraded: AtomicBool::new(false),
+            degraded_probe: AtomicU64::new(0),
             metrics: None,
         };
+        // Re-enforce the budget over whatever the scan found, keeping the
+        // most-recently-seeded entry (deterministic: filename order).
+        let evicted = {
+            let mut index = store.lock_index();
+            let newest = index
+                .entries
+                .iter()
+                .max_by_key(|(_, e)| e.seq)
+                .map(|(k, _)| *k);
+            match newest {
+                Some(keep) => {
+                    let before = store.evictions.load(Ordering::Relaxed);
+                    store.evict_over_budget(&mut index, keep);
+                    store.evictions.load(Ordering::Relaxed) != before
+                }
+                None => false,
+            }
+        };
+        if evicted {
+            store.persist_stats();
+        }
         store.publish_gauges();
         Ok(store)
     }
@@ -191,6 +244,9 @@ impl DiskStore {
         metrics
             .gauge(metric_names::STORE_BYTES)
             .set(self.bytes() as f64);
+        metrics
+            .gauge(metric_names::STORE_DEGRADED)
+            .set(if self.is_degraded() { 1.0 } else { 0.0 });
         self.metrics = Some(metrics);
         self
     }
@@ -224,7 +280,7 @@ impl DiskStore {
     pub fn load<T: Artifact>(&self, key: u64) -> Option<T> {
         let kind = T::KIND;
         let path = self.blob_path(kind, key);
-        let bytes = match fs::read(&path) {
+        let bytes = match faultfs::read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 self.count_miss();
@@ -260,6 +316,11 @@ impl DiskStore {
     /// Idempotent: if the key is already published, nothing is written
     /// (content addressing means the bytes would be identical). May evict
     /// least-recently-used blobs afterwards to honor the byte budget.
+    /// In `ENOSPC` degraded mode the put usually returns `Ok(())` without
+    /// publishing anything (the caller keeps its computed artifact; the
+    /// disk is full, not the pipeline); every
+    /// [`DEGRADED_PROBE_INTERVAL`]-th put probes the disk and the first
+    /// success clears the mode.
     pub fn put<T: Artifact>(&self, key: u64, artifact: &T) -> Result<(), StoreError> {
         let kind = T::KIND;
         {
@@ -268,32 +329,40 @@ impl DiskStore {
                 return Ok(());
             }
         }
+        if self.degraded.load(Ordering::Relaxed) {
+            let probe = self.degraded_probe.fetch_add(1, Ordering::Relaxed);
+            #[allow(clippy::manual_is_multiple_of)] // u64::is_multiple_of needs 1.87, MSRV is 1.75
+            if probe % DEGRADED_PROBE_INTERVAL != 0 {
+                return Ok(());
+            }
+        }
         let blob = artifact.encode();
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let dir = self.root.join("blobs").join(kind.dir_name());
         let tmp = dir.join(format!(".tmp-{seq}-{key:016x}"));
-        let publish = (|| -> Result<(), StoreError> {
-            let mut f = fs::File::create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
-            f.write_all(&blob).map_err(|e| io_err("writing", &tmp, e))?;
-            f.sync_all().map_err(|e| io_err("syncing", &tmp, e))?;
-            drop(f);
-            let dest = self.blob_path(kind, key);
-            fs::rename(&tmp, &dest).map_err(|e| io_err("publishing", &dest, e))?;
-            // Make the rename itself durable.
-            if let Ok(d) = fs::File::open(&dir) {
-                let _ = d.sync_all();
-            }
+        let dest = self.blob_path(kind, key);
+        let publish = (|| -> Result<(), (&'static str, &Path, std::io::Error)> {
+            faultfs::write_sync(&tmp, &blob).map_err(|e| ("writing", tmp.as_path(), e))?;
+            faultfs::rename(&tmp, &dest).map_err(|e| ("publishing", dest.as_path(), e))?;
+            // Make the rename itself durable (best-effort).
+            let _ = faultfs::sync_dir(&dir);
             Ok(())
         })();
-        if let Err(e) = publish {
-            let _ = fs::remove_file(&tmp);
+        if let Err((context, path, e)) = publish {
+            let disk_full = e.raw_os_error() == Some(ENOSPC);
+            let _ = faultfs::remove_file(&tmp);
             self.put_errors.fetch_add(1, Ordering::Relaxed);
             if let Some(m) = &self.metrics {
                 m.counter(metric_names::STORE_PUT_ERRORS).inc();
             }
+            if disk_full {
+                self.set_degraded(true);
+            }
             self.persist_stats();
-            return Err(e);
+            return Err(io_err(context, path, e));
         }
+        // Publication works: if we were degraded, the disk has space again.
+        self.set_degraded(false);
         let size = blob.len() as u64;
         {
             let mut index = self.lock_index();
@@ -343,9 +412,24 @@ impl DiskStore {
             evictions: self.evictions.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             put_errors: self.put_errors.load(Ordering::Relaxed),
+            stats_persist_errors: self.stats_persist_errors.load(Ordering::Relaxed),
             blobs,
             bytes,
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether the store is currently in `ENOSPC` degraded mode
+    /// (publication suspended, hits still served).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Persists the cumulative counters right now. The daemon calls this
+    /// once during drain, so a graceful shutdown never loses the final
+    /// ticks between the last store event and process exit.
+    pub fn flush_stats(&self) {
+        self.persist_stats();
     }
 
     // ---------------------------------------------------------- internals
@@ -368,7 +452,7 @@ impl DiskStore {
             index.total_bytes -= entry.size;
             for kind in KINDS {
                 if kind.tag() == tag {
-                    let _ = fs::remove_file(self.blob_path(kind, key));
+                    let _ = faultfs::remove_file(&self.blob_path(kind, key));
                 }
             }
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -384,10 +468,10 @@ impl DiskStore {
             .join(format!("{}-{key:016x}.{BLOB_EXT}", kind.dir_name()));
         // Preserve the evidence; if a previous quarantined copy of the
         // same key exists, the newer one replaces it.
-        if fs::rename(path, &dest).is_err() {
+        if faultfs::rename(path, &dest).is_err() {
             // Renaming failed (e.g. racing loader already moved it) —
             // make sure the corrupt blob is at least not served again.
-            let _ = fs::remove_file(path);
+            let _ = faultfs::remove_file(path);
         }
         let mut index = self.lock_index();
         if let Some(entry) = index.entries.remove(&(kind.tag(), key)) {
@@ -405,7 +489,7 @@ impl DiskStore {
         let note = self
             .quarantine_dir()
             .join(format!("{}-{key:016x}.reason.txt", kind.dir_name()));
-        let _ = fs::write(&note, format!("{err}\n"));
+        let _ = faultfs::write(&note, format!("{err}\n").as_bytes());
     }
 
     fn count_hit(&self) {
@@ -430,9 +514,23 @@ impl DiskStore {
         }
     }
 
+    fn set_degraded(&self, on: bool) {
+        let was = self.degraded.swap(on, Ordering::Relaxed);
+        if was != on {
+            if let Some(m) = &self.metrics {
+                m.gauge(metric_names::STORE_DEGRADED)
+                    .set(if on { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
     /// Persists the cumulative counters to `stats.json` via atomic
     /// write-then-rename. Deliberately not fsynced: a crash can lose the
     /// last few ticks, never corrupt the file (the rename is atomic).
+    /// Failures are non-fatal — the in-memory counters remain
+    /// authoritative for this process's lifetime — but they are *counted*
+    /// (`store.stats_persist_errors`) and surfaced via [`Self::stats`],
+    /// so a daemon whose sidecar silently stopped updating is visible.
     fn persist_stats(&self) {
         let mut obj = JsonObject::new();
         obj.number("hits", self.hits.load(Ordering::Relaxed) as f64);
@@ -444,14 +542,20 @@ impl DiskStore {
             self.quarantined.load(Ordering::Relaxed) as f64,
         );
         obj.number("put_errors", self.put_errors.load(Ordering::Relaxed) as f64);
+        obj.number(
+            "stats_persist_errors",
+            self.stats_persist_errors.load(Ordering::Relaxed) as f64,
+        );
         let line = obj.finish();
         let path = self.root.join(STATS_FILE);
         let tmp = self.root.join(".stats.json.tmp");
-        // Failures here are non-fatal: stats persistence is best-effort
-        // and the in-memory counters remain authoritative for this
-        // process's lifetime.
-        if fs::write(&tmp, line).is_ok() {
-            let _ = fs::rename(&tmp, &path);
+        let written =
+            faultfs::write(&tmp, line.as_bytes()).and_then(|()| faultfs::rename(&tmp, &path));
+        if written.is_err() {
+            self.stats_persist_errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.counter(metric_names::STORE_STATS_PERSIST_ERRORS).inc();
+            }
         }
     }
 }
@@ -472,10 +576,11 @@ struct PersistedStats {
     evictions: u64,
     quarantined: u64,
     put_errors: u64,
+    stats_persist_errors: u64,
 }
 
 fn load_stats_sidecar(path: &Path) -> PersistedStats {
-    let Ok(text) = fs::read_to_string(path) else {
+    let Ok(text) = faultfs::read_to_string(path) else {
         return PersistedStats::default();
     };
     let Ok(map) = parse_object(text.trim()) else {
@@ -491,6 +596,7 @@ fn load_stats_sidecar(path: &Path) -> PersistedStats {
         evictions: get("evictions"),
         quarantined: get("quarantined"),
         put_errors: get("put_errors"),
+        stats_persist_errors: get("stats_persist_errors"),
     }
 }
 
@@ -700,6 +806,47 @@ mod tests {
     }
 
     #[test]
+    fn reopen_with_budget_re_enforces_eviction() {
+        // A crash between a publication and its eviction sweep can leave
+        // the store over budget; open must bring it back under.
+        let dir = temp_store_dir("evict_on_open");
+        let one_blob = matrix(1.0).encode().len() as u64;
+        {
+            let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+            store.put(1, &matrix(1.0)).unwrap();
+            store.put(2, &matrix(2.0)).unwrap();
+            store.put(3, &matrix(3.0)).unwrap();
+        }
+        let store = DiskStore::open(
+            &dir,
+            StoreOptions {
+                byte_budget: Some(one_blob),
+            },
+        )
+        .unwrap();
+        assert_eq!(store.len(), 1, "open left the store over budget");
+        assert!(store.bytes() <= one_blob);
+        assert!(
+            store.contains(ArtifactKind::Matrix, 3),
+            "open evicted the newest entry instead of the oldest"
+        );
+        assert_eq!(store.stats().evictions, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_report_no_degradation_by_default() {
+        let dir = temp_store_dir("not_degraded");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        store.put(1, &matrix(1.0)).unwrap();
+        let s = store.stats();
+        assert!(!s.degraded);
+        assert!(!store.is_degraded());
+        assert_eq!(s.stats_persist_errors, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn metrics_track_store_events() {
         let dir = temp_store_dir("metrics");
         let metrics = MetricsRegistry::new();
@@ -713,6 +860,159 @@ mod tests {
         assert_eq!(metrics.counter(metric_names::STORE_HITS).get(), 1);
         assert_eq!(metrics.counter(metric_names::STORE_MISSES).get(), 1);
         assert!(metrics.gauge(metric_names::STORE_BYTES).get() > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod fault_tests {
+    use super::*;
+    use crate::faultfs::{self, FAULT_TEST_LOCK};
+    use symclust_engine::faultplan::{FaultErrno, FaultSpec};
+    use symclust_sparse::CsrMatrix;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("symclust_store_fault_{}_{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn matrix(scale: f64) -> CsrMatrix {
+        CsrMatrix::from_dense(&[vec![0.0, scale], vec![scale * 2.0, 0.0]])
+    }
+
+    #[test]
+    fn enospc_put_enters_degraded_mode_and_hits_keep_serving() {
+        let _guard = FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = temp_store_dir("degraded");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        store.put(1, &matrix(1.0)).unwrap();
+
+        faultfs::arm(FaultSpec {
+            enospc_after: Some(0),
+            ..FaultSpec::default()
+        });
+        let err = store.put(2, &matrix(2.0)).unwrap_err();
+        assert!(
+            err.to_string().contains("writing"),
+            "unexpected error: {err}"
+        );
+        assert!(store.is_degraded(), "ENOSPC put must flip degraded mode");
+        assert!(store.stats().degraded);
+        assert_eq!(store.stats().put_errors, 1);
+
+        // Hits keep serving on the full disk (reads are not injected by
+        // enospc-after), and the failed key stays unpublished.
+        let back: Option<CsrMatrix> = store.load(1);
+        assert!(back.is_some(), "degraded mode must keep serving hits");
+        assert!(!store.contains(ArtifactKind::Matrix, 2));
+
+        // While degraded, most puts are silently suspended: the first
+        // (probe 0) hits the disk and fails, the next
+        // DEGRADED_PROBE_INTERVAL - 1 drop out early with Ok(()).
+        assert!(
+            store.put(100, &matrix(3.0)).is_err(),
+            "probe 0 touches disk"
+        );
+        for i in 1..DEGRADED_PROBE_INTERVAL {
+            assert!(
+                store.put(100 + i, &matrix(3.0)).is_ok(),
+                "suspended put {i} must not error"
+            );
+            assert!(!store.contains(ArtifactKind::Matrix, 100 + i));
+        }
+
+        // Disk space comes back: the next probe publishes and clears the
+        // mode.
+        faultfs::reset();
+        let probe_key = 100 + DEGRADED_PROBE_INTERVAL;
+        store.put(probe_key, &matrix(4.0)).unwrap();
+        assert!(!store.is_degraded(), "successful probe must clear degraded");
+        assert!(store.contains(ArtifactKind::Matrix, probe_key));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_persist_failures_are_counted_not_swallowed() {
+        let _guard = FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = temp_store_dir("persist_err");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+
+        // A miss runs: read (op 0), then persist_stats = write (op 1) +
+        // rename (op 2). Injecting EIO into the sidecar write must be
+        // counted, not dropped on the floor.
+        faultfs::arm(FaultSpec {
+            err_at: Some((1, FaultErrno::Eio)),
+            ..FaultSpec::default()
+        });
+        assert!(store.load::<CsrMatrix>(7).is_none());
+        faultfs::reset();
+        let s = store.stats();
+        assert_eq!((s.misses, s.stats_persist_errors), (1, 1));
+
+        // The next successful persist carries the failure count into the
+        // sidecar, so it survives a restart like every other counter.
+        assert!(store.load::<CsrMatrix>(8).is_none());
+        drop(store);
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.stats().stats_persist_errors, 1);
+        assert_eq!(store.stats().misses, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_short_read_quarantines_instead_of_serving() {
+        let _guard = FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = temp_store_dir("short_read");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+        store.put(5, &matrix(2.0)).unwrap();
+
+        faultfs::arm(FaultSpec {
+            seed: 3,
+            short_read_at: Some(0),
+            ..FaultSpec::default()
+        });
+        let got: Option<CsrMatrix> = store.load(5);
+        faultfs::reset();
+        assert!(got.is_none(), "a truncated blob must never be served");
+        let s = store.stats();
+        assert_eq!((s.quarantined, s.misses), (1, 1));
+        assert!(!store.contains(ArtifactKind::Matrix, 5));
+        // The recompute-and-put path republishes cleanly.
+        store.put(5, &matrix(2.0)).unwrap();
+        let back: Option<CsrMatrix> = store.load(5);
+        assert_eq!(back, Some(matrix(2.0)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_rename_failure_is_a_put_error_and_cleans_the_temp() {
+        let _guard = FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = temp_store_dir("rename_fail");
+        let store = DiskStore::open(&dir, StoreOptions::default()).unwrap();
+
+        // put = create (0) + write (1) + fsync (2) + rename (3) + ...
+        faultfs::arm(FaultSpec {
+            err_at: Some((3, FaultErrno::Eio)),
+            ..FaultSpec::default()
+        });
+        assert!(store.put(9, &matrix(1.0)).is_err());
+        faultfs::reset();
+        assert_eq!(store.stats().put_errors, 1);
+        assert!(!store.contains(ArtifactKind::Matrix, 9));
+        let leftovers: Vec<String> = std::fs::read_dir(dir.join("blobs").join("matrix"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            leftovers.iter().all(|n| !n.starts_with(".tmp-")),
+            "failed publication left a temp file: {leftovers:?}"
+        );
+        // The same key publishes fine afterwards.
+        store.put(9, &matrix(1.0)).unwrap();
+        assert!(store.contains(ArtifactKind::Matrix, 9));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

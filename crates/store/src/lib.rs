@@ -24,6 +24,7 @@
 
 pub mod codec;
 pub mod disk;
+pub mod faultfs;
 pub mod tiered;
 
 pub use codec::{Artifact, ArtifactKind, StoreError};
@@ -48,6 +49,12 @@ pub mod metric_names {
     /// Counter: publish attempts that failed at the filesystem layer
     /// (the computed artifact is still returned to the caller).
     pub const STORE_PUT_ERRORS: &str = "store.put_errors";
+    /// Counter: failed attempts to persist the `stats.json` sidecar
+    /// (write or rename error; the in-memory counters stay authoritative).
+    pub const STORE_STATS_PERSIST_ERRORS: &str = "store.stats_persist_errors";
     /// Gauge: total bytes of published blobs currently on disk.
     pub const STORE_BYTES: &str = "store.bytes";
+    /// Gauge: 1 while the store is in `ENOSPC` degraded mode (publication
+    /// suspended, hits still served), 0 otherwise.
+    pub const STORE_DEGRADED: &str = "store.degraded";
 }

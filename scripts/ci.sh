@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check build test fault debug-assertions threads-matrix serve bench)
+ALL_STAGES=(fmt clippy check build test fault debug-assertions threads-matrix serve chaos bench)
 
 stage_fmt() { cargo fmt --all -- --check; }
 stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
@@ -26,6 +26,18 @@ stage_build() { cargo build --release; }
 # `cargo test -q` stage was a strict subset of this one.
 stage_test() { cargo test -q --workspace; }
 stage_fault() { cargo test -q -p symclust-engine --features fault-injection; }
+# Chaos-hardening gate (DESIGN.md §15): the store + cli test suites under
+# the deterministic I/O fault injector, then the full scripted
+# kill-and-restart sweep against a real daemon over a real socket. The
+# sweep fails on any crash-consistency violation: a corrupt blob served,
+# a torn stats.json, a replay that is not byte-identical, or an LRU
+# budget overrun after recovery.
+stage_chaos() {
+  cargo test -q -p symclust-store --features fault-injection
+  cargo test -q -p symclust-cli --features fault-injection
+  cargo build --release -q -p symclust-cli --features fault-injection
+  ./target/release/symclust chaos --seed 42 --cycles 25
+}
 stage_debug_assertions() {
   RUSTFLAGS="${RUSTFLAGS:-} -C debug-assertions=on" \
     cargo test -q --release -p symclust-engine
