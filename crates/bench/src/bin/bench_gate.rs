@@ -5,6 +5,8 @@
 //! bench_gate check       <baseline.json> <current.json> [wall-tolerance]
 //! bench_gate syrk-check  <graph.txt>
 //! bench_gate serve-check <graph.txt>
+//! bench_gate accum-check <graph.txt>
+//! bench_gate trajectory  <BENCH_pipeline.json> <trajectory.jsonl> [commit]
 //! ```
 //!
 //! `emit` converts a `symclust pipeline --metrics-out` file into the
@@ -21,11 +23,20 @@
 //! in-memory tier (a simulated daemon restart); the replay must be
 //! served from disk, run zero SpGEMM calls, return the bit-identical
 //! matrix, and finish strictly faster than the cold compute.
+//! `accum-check` is the lock on the adaptive accumulators: the same
+//! Bibliometric product under forced-sparse accumulation and under the
+//! adaptive strategy must be byte-identical, the adaptive pass must
+//! actually pick the dense path for some rows, and its best-of-3 wall
+//! time must be strictly below forced-sparse's. `trajectory` appends
+//! one `{commit, wall_ms, spgemm.flops, rows_dense, rows_sparse}` JSON
+//! line from a BENCH file to the checked-in perf history.
 
 use symclust_bench::gate;
 use symclust_obs::MetricsRegistry;
 use symclust_sparse::spgemm::metric_names;
-use symclust_sparse::{ops, spgemm_observed, spgemm_syrk_sum_observed, SpgemmOptions, SyrkTerm};
+use symclust_sparse::{
+    ops, spgemm_observed, spgemm_syrk_sum_observed, AccumStrategy, SpgemmOptions, SyrkTerm,
+};
 
 fn main() {
     std::process::exit(match run() {
@@ -94,10 +105,147 @@ fn run() -> Result<(), String> {
             };
             serve_check(graph_path)
         }
+        Some("accum-check") => {
+            let [_, graph_path] = args.as_slice() else {
+                return Err("usage: bench_gate accum-check <graph.txt>".into());
+            };
+            accum_check(graph_path)
+        }
+        Some("trajectory") => {
+            let (bench_path, out_path, commit) = match args.as_slice() {
+                [_, b, o] => (b, o, "unknown"),
+                [_, b, o, c] => (b, o, c.as_str()),
+                _ => {
+                    return Err(
+                        "usage: bench_gate trajectory <BENCH.json> <trajectory.jsonl> [commit]"
+                            .into(),
+                    )
+                }
+            };
+            trajectory_append(bench_path, out_path, commit)
+        }
         _ => Err(
-            "usage: bench_gate emit|check|syrk-check|serve-check ... (see --help in source)".into(),
+            "usage: bench_gate emit|check|syrk-check|serve-check|accum-check|trajectory ... \
+             (see --help in source)"
+                .into(),
         ),
     }
+}
+
+/// Runs the fused Bibliometric SYRK product under forced-sparse and
+/// adaptive accumulation and fails unless the outputs are byte-identical,
+/// the adaptive pass exercises both strategies' bookkeeping (all rows
+/// accounted for, at least one dense), and adaptive's best-of-3 wall time
+/// is strictly below forced-sparse's.
+fn accum_check(graph_path: &str) -> Result<(), String> {
+    use std::time::{Duration, Instant};
+
+    let g = symclust_graph::io::read_edge_list_file(graph_path)
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let a = ops::add_diagonal(g.adjacency(), 1.0).map_err(|e| e.to_string())?;
+    let at = ops::transpose(&a);
+    let terms = [SyrkTerm { x: &a, xt: &at }, SyrkTerm { x: &at, xt: &a }];
+    let run = |accum: AccumStrategy| -> Result<_, String> {
+        let opts = SpgemmOptions {
+            drop_diagonal: true,
+            n_threads: 1,
+            accum,
+            ..Default::default()
+        };
+        let mut best: Option<Duration> = None;
+        let mut result = None;
+        let metrics = MetricsRegistry::new();
+        for i in 0..3 {
+            let m = if i == 0 { Some(&metrics) } else { None };
+            let t0 = Instant::now();
+            let c = spgemm_syrk_sum_observed(&terms, &opts, None, m).map_err(|e| e.to_string())?;
+            let wall = t0.elapsed();
+            best = Some(best.map_or(wall, |b| b.min(wall)));
+            result = Some(c);
+        }
+        let snap = metrics.snapshot();
+        Ok((
+            result.expect("loop ran"),
+            best.expect("loop ran"),
+            snap.counter(metric_names::ROWS_DENSE).unwrap_or(0),
+            snap.counter(metric_names::ROWS_SPARSE).unwrap_or(0),
+            snap.counter(metric_names::ROWS).unwrap_or(0),
+        ))
+    };
+
+    let (sparse, sparse_wall, s_dense, s_sparse, s_rows) = run(AccumStrategy::Sparse)?;
+    let (adaptive, adaptive_wall, a_dense, a_sparse, a_rows) = run(AccumStrategy::Adaptive)?;
+    if sparse != adaptive {
+        return Err("adaptive output differs from forced-sparse accumulation".into());
+    }
+    if s_dense != 0 || s_sparse != s_rows {
+        return Err(format!(
+            "forced-sparse pass miscounted strategies: rows_dense {s_dense}, \
+             rows_sparse {s_sparse}, rows {s_rows}"
+        ));
+    }
+    if a_dense + a_sparse != a_rows {
+        return Err(format!(
+            "adaptive pass lost rows: rows_dense {a_dense} + rows_sparse {a_sparse} != rows {a_rows}"
+        ));
+    }
+    if a_dense == 0 {
+        return Err("adaptive pass never chose the dense accumulator on this graph".into());
+    }
+    if adaptive_wall >= sparse_wall {
+        return Err(format!(
+            "adaptive took {:.3}ms, not strictly below forced-sparse's {:.3}ms",
+            adaptive_wall.as_secs_f64() * 1e3,
+            sparse_wall.as_secs_f64() * 1e3
+        ));
+    }
+    println!(
+        "accum gate OK: {graph_path}: adaptive {:.3}ms vs forced-sparse {:.3}ms \
+         ({:.1}x faster), {a_dense} dense / {a_sparse} sparse rows, output identical ({} nnz)",
+        adaptive_wall.as_secs_f64() * 1e3,
+        sparse_wall.as_secs_f64() * 1e3,
+        sparse_wall.as_secs_f64() / adaptive_wall.as_secs_f64().max(1e-9),
+        adaptive.nnz()
+    );
+    Ok(())
+}
+
+/// Appends one perf-history line from a BENCH file:
+/// `{"commit":…,"wall_ms":…,"spgemm.flops":…,"spgemm.rows_dense":…,"spgemm.rows_sparse":…}`.
+fn trajectory_append(bench_path: &str, out_path: &str, commit: &str) -> Result<(), String> {
+    use std::io::Write;
+
+    let bench = gate::read_flat_json(bench_path)?;
+    let num = |key: &str| {
+        bench
+            .get(key)
+            .and_then(symclust_engine::json::JsonValue::as_f64)
+    };
+    let wall = num("wall_secs").ok_or_else(|| format!("{bench_path} has no wall_secs"))?;
+    let flops = num("spgemm.flops").ok_or_else(|| format!("{bench_path} has no spgemm.flops"))?;
+    let rows_dense = num("spgemm.rows_dense").unwrap_or(0.0);
+    let rows_sparse = num("spgemm.rows_sparse").unwrap_or(0.0);
+    let commit_clean: String = commit
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+        .collect();
+    let line = format!(
+        "{{\"commit\":\"{commit_clean}\",\"wall_ms\":{:.1},\"spgemm.flops\":{},\
+         \"spgemm.rows_dense\":{},\"spgemm.rows_sparse\":{}}}\n",
+        wall * 1e3,
+        flops as u64,
+        rows_dense as u64,
+        rows_sparse as u64
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out_path)
+        .map_err(|e| format!("opening {out_path}: {e}"))?;
+    f.write_all(line.as_bytes())
+        .map_err(|e| format!("appending to {out_path}: {e}"))?;
+    println!("trajectory: appended {} to {out_path}", line.trim_end());
+    Ok(())
 }
 
 /// Computes `AAᵀ + AᵀA` (with the Bibliometric `+I` step) both ways and

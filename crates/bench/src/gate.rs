@@ -38,6 +38,8 @@ pub const EXACT_KEYS: &[&str] = &[
     "counter.store.quarantined",
     "counter.store.stats_persist_errors",
     "gauge.store.degraded",
+    "counter.spgemm.rows_dense",
+    "counter.spgemm.rows_sparse",
 ];
 // NOT gated: `counter.spgemm.sched_steals` — the work-stealing scheduler's
 // steal count depends on thread count and machine load, so it is exactly
@@ -84,10 +86,12 @@ pub fn emit_bench_json(metrics: &HashMap<String, JsonValue>) -> Result<String, S
 /// * every non-`wall_secs` numeric key in the baseline must be present in
 ///   the current file with the *exact* same value;
 /// * `wall_secs` may grow to `baseline · (1 + wall_tolerance)` or
-///   `baseline + `[`WALL_SLACK_FLOOR_SECS`], whichever is larger.
-///
-/// Keys only present in the current file are ignored, so adding a new
-/// counter does not invalidate old baselines.
+///   `baseline + `[`WALL_SLACK_FLOOR_SECS`], whichever is larger;
+/// * every numeric key in the current file must also exist in the
+///   baseline. A key the current build emits that the baseline lacks
+///   means [`EXACT_KEYS`] grew without the baseline being refreshed in
+///   the same commit — reported by name so the fix is obvious, instead
+///   of surfacing later as an opaque whole-file mismatch.
 pub fn compare(
     baseline: &HashMap<String, JsonValue>,
     current: &HashMap<String, JsonValue>,
@@ -115,6 +119,17 @@ pub fn compare(
             }
         } else if cur != base {
             violations.push(format!("{key}: {cur} != baseline {base}"));
+        }
+    }
+    let mut cur_keys: Vec<&String> = current.keys().collect();
+    cur_keys.sort();
+    for key in cur_keys {
+        if current[key].as_f64().is_some() && !baseline.contains_key(key) {
+            violations.push(format!(
+                "{key}: present in current run but not in the baseline — \
+                 a new gated counter needs bench_results/baseline.json \
+                 refreshed in the same commit"
+            ));
         }
     }
     violations
@@ -220,11 +235,17 @@ mod tests {
     }
 
     #[test]
-    fn extra_current_keys_are_tolerated() {
+    fn extra_current_key_fails_by_name() {
         let mut small = sample_metrics();
         small.remove("counter.spgemm.nnz_final");
         let base = parse_object(&emit_bench_json(&small).unwrap()).unwrap();
         let cur = parse_object(&emit_bench_json(&sample_metrics()).unwrap()).unwrap();
-        assert!(compare(&base, &cur, 0.25).is_empty());
+        let violations = compare(&base, &cur, 0.25);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("spgemm.nnz_final")
+                && violations[0].contains("not in the baseline"),
+            "drift must be reported by key name: {violations:?}"
+        );
     }
 }

@@ -334,6 +334,18 @@ const CACHE_KEY_BANNED: &[(&str, &str)] = &[
         "n_threads",
         "thread count must not reach cache keys (kernels are bit-deterministic across threads)",
     ),
+    (
+        "spgemm_accum",
+        "accumulator strategy must not reach cache keys (strategies are bit-identical)",
+    ),
+    (
+        "AccumStrategy",
+        "accumulator strategy must not reach cache keys (strategies are bit-identical)",
+    ),
+    (
+        "SYMCLUST_ACCUM",
+        "the accumulator env knob must not reach cache keys (strategies are bit-identical)",
+    ),
 ];
 
 /// Name fragments that mark a `pub fn` as a kernel entry point for the

@@ -322,6 +322,7 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
         },
         memory_budget: args.get::<usize>("memory-budget")?,
         spgemm_threads: args.get::<usize>("sym-threads")?,
+        spgemm_accum: args.get::<symclust_sparse::AccumStrategy>("sym-accum")?,
         journal: args.optional("resume").map(std::path::PathBuf::from),
         metrics: None,
         paranoid: args.get_or("paranoid", false)?,

@@ -18,8 +18,8 @@ use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
 use symclust_obs::MetricsRegistry;
 use symclust_sparse::{
-    ops, spgemm_syrk_sum_budgeted, spgemm_syrk_sum_observed, threads_from_env, CancelToken,
-    SpgemmOptions, SyrkTerm,
+    accum_from_env, ops, spgemm_syrk_sum_budgeted, spgemm_syrk_sum_observed, threads_from_env,
+    AccumStrategy, CancelToken, SpgemmOptions, SyrkTerm,
 };
 
 /// Options for [`Bibliometric`].
@@ -41,6 +41,11 @@ pub struct BibliometricOptions {
     /// an adaptively thresholded multiply instead of aborting; the result
     /// is flagged [`SymmetrizedGraph::degraded`]. Default `None` (exact).
     pub nnz_budget: Option<usize>,
+    /// Per-row accumulator strategy for the SpGEMM kernels. Like
+    /// `n_threads`, this never changes output bytes — only which code path
+    /// produces them. The default honors `SYMCLUST_ACCUM` and falls back
+    /// to adaptive.
+    pub accum: AccumStrategy,
 }
 
 impl Default for BibliometricOptions {
@@ -50,6 +55,7 @@ impl Default for BibliometricOptions {
             threshold: 0.0,
             n_threads: threads_from_env().unwrap_or(1),
             nnz_budget: None,
+            accum: accum_from_env().unwrap_or_default(),
         }
     }
 }
@@ -94,6 +100,8 @@ impl Bibliometric {
             threshold: self.options.threshold,
             drop_diagonal: true,
             n_threads: self.options.n_threads,
+            accum: self.options.accum,
+            ..Default::default()
         };
         let terms = [
             SyrkTerm { x: &a, xt: &at }, // AAᵀ (coupling)

@@ -150,6 +150,7 @@ pub fn bipartite_degree_discounted(
             threshold: opts.threshold,
             drop_diagonal: true,
             n_threads: 0,
+            ..Default::default()
         },
         None,
         None,

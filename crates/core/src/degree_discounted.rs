@@ -30,8 +30,8 @@ use std::time::Instant;
 use symclust_graph::{DiGraph, UnGraph};
 use symclust_obs::MetricsRegistry;
 use symclust_sparse::{
-    ops, spgemm_syrk_sum_budgeted, spgemm_syrk_sum_observed, threads_from_env, CancelToken,
-    CsrMatrix, SpgemmOptions, SyrkTerm,
+    accum_from_env, ops, spgemm_syrk_sum_budgeted, spgemm_syrk_sum_observed, threads_from_env,
+    AccumStrategy, CancelToken, CsrMatrix, SpgemmOptions, SyrkTerm,
 };
 
 /// How a node's degree discounts its similarity contributions (Table 4 rows).
@@ -99,6 +99,11 @@ pub struct DegreeDiscountedOptions {
     /// an adaptively thresholded multiply instead of aborting; the result
     /// is flagged [`SymmetrizedGraph::degraded`]. Default `None` (exact).
     pub nnz_budget: Option<usize>,
+    /// Per-row accumulator strategy for the SpGEMM kernels. Like
+    /// `n_threads`, this never changes output bytes — only which code path
+    /// produces them. The default honors `SYMCLUST_ACCUM` and falls back
+    /// to adaptive.
+    pub accum: AccumStrategy,
 }
 
 impl Default for DegreeDiscountedOptions {
@@ -110,6 +115,7 @@ impl Default for DegreeDiscountedOptions {
             add_identity: false,
             n_threads: threads_from_env().unwrap_or(1),
             nnz_budget: None,
+            accum: accum_from_env().unwrap_or_default(),
         }
     }
 }
@@ -239,8 +245,15 @@ impl SimilarityFactors {
     /// could lose entries with true sum in `[t, 1.5t)`; fusing removes
     /// that approximation along with both intermediate matrices.)
     pub fn full(&self, threshold: f64, n_threads: usize) -> Result<CsrMatrix> {
-        self.full_with(threshold, n_threads, None, None, None)
-            .map(|r| r.0)
+        self.full_with(
+            threshold,
+            n_threads,
+            accum_from_env().unwrap_or_default(),
+            None,
+            None,
+            None,
+        )
+        .map(|r| r.0)
     }
 
     /// [`full`](Self::full) that polls `token` inside the SpGEMM row loops.
@@ -250,8 +263,15 @@ impl SimilarityFactors {
         n_threads: usize,
         token: &CancelToken,
     ) -> Result<CsrMatrix> {
-        self.full_with(threshold, n_threads, Some(token), None, None)
-            .map(|r| r.0)
+        self.full_with(
+            threshold,
+            n_threads,
+            accum_from_env().unwrap_or_default(),
+            Some(token),
+            None,
+            None,
+        )
+        .map(|r| r.0)
     }
 
     /// Computes the full matrix like [`full`](Self::full) but caps the
@@ -262,6 +282,7 @@ impl SimilarityFactors {
         &self,
         threshold: f64,
         n_threads: usize,
+        accum: AccumStrategy,
         token: Option<&CancelToken>,
         nnz_budget: Option<usize>,
         metrics: Option<&MetricsRegistry>,
@@ -270,6 +291,8 @@ impl SimilarityFactors {
             threshold,
             drop_diagonal: true,
             n_threads,
+            accum,
+            ..Default::default()
         };
         let terms = [
             SyrkTerm {
@@ -316,6 +339,7 @@ impl DegreeDiscounted {
         let (u, degraded) = factors.full_with(
             self.options.threshold,
             self.options.n_threads,
+            self.options.accum,
             token,
             self.options.nnz_budget,
             metrics,

@@ -137,6 +137,7 @@ pub fn chain_degree_discounted(chain: &MultipartiteChain, opts: &ChainOptions) -
             threshold: opts.threshold,
             drop_diagonal: true,
             n_threads: 0,
+            ..Default::default()
         },
         None,
         None,

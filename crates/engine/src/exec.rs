@@ -168,6 +168,12 @@ pub struct EngineOptions {
     /// deterministically, so this knob never changes results — it is
     /// excluded from cache keys on purpose.
     pub spgemm_threads: Option<usize>,
+    /// SpGEMM accumulator strategy for the similarity symmetrizations
+    /// (adaptive / dense / sparse). `None` keeps the symmetrizer
+    /// defaults, which honor `SYMCLUST_ACCUM`. Every strategy produces
+    /// bit-identical output, so — like `spgemm_threads` — this knob is
+    /// excluded from cache keys on purpose.
+    pub spgemm_accum: Option<symclust_sparse::AccumStrategy>,
     /// Path of the durable run journal. When set, chains recorded there
     /// are resumed instead of re-executed, and every chain completed by
     /// this run is appended.
@@ -261,6 +267,7 @@ struct ExecCtx<'a> {
     retry: RetryPolicy,
     memory_budget: Option<usize>,
     spgemm_threads: Option<usize>,
+    spgemm_accum: Option<symclust_sparse::AccumStrategy>,
     metrics: &'a MetricsRegistry,
     paranoid: bool,
 }
@@ -372,6 +379,7 @@ impl Engine {
             retry: self.opts.retry.clone(),
             memory_budget: self.opts.memory_budget,
             spgemm_threads: self.opts.spgemm_threads,
+            spgemm_accum: self.opts.spgemm_accum,
             metrics: &registry,
             paranoid: self.opts.paranoid,
         };
@@ -861,6 +869,7 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
                     token,
                     budget,
                     ctx.spgemm_threads,
+                    ctx.spgemm_accum,
                     Some(ctx.metrics),
                 )?;
                 // Structural + exact-symmetry validation at the kernel

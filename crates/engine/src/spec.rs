@@ -81,19 +81,22 @@ impl SymMethod {
         &self,
         nnz_budget: Option<usize>,
     ) -> Box<dyn Symmetrizer + Send + Sync> {
-        self.build_configured(nnz_budget, None)
+        self.build_configured(nnz_budget, None, None)
     }
 
     /// Builds the configured symmetrizer under an optional SpGEMM output
-    /// budget and an optional thread-count override for the similarity
-    /// kernels. `None` keeps the option defaults (which honor
-    /// `SYMCLUST_THREADS`). The thread count never changes the output —
-    /// the parallel kernels assemble blocks deterministically — so it is
-    /// deliberately *not* part of [`cache_params`](Self::cache_params).
+    /// budget, an optional thread-count override and an optional
+    /// accumulator-strategy override for the similarity kernels. `None`
+    /// keeps the option defaults (which honor `SYMCLUST_THREADS` /
+    /// `SYMCLUST_ACCUM`). Neither knob changes the output — the parallel
+    /// kernels assemble blocks deterministically and the accumulator
+    /// strategies are bit-identical — so both are deliberately *not* part
+    /// of [`cache_params`](Self::cache_params).
     pub fn build_configured(
         &self,
         nnz_budget: Option<usize>,
         spgemm_threads: Option<usize>,
+        spgemm_accum: Option<symclust_sparse::AccumStrategy>,
     ) -> Box<dyn Symmetrizer + Send + Sync> {
         match *self {
             SymMethod::PlusTranspose => Box::new(PlusTranspose),
@@ -106,6 +109,9 @@ impl SymMethod {
                 };
                 if let Some(t) = spgemm_threads {
                     options.n_threads = t;
+                }
+                if let Some(a) = spgemm_accum {
+                    options.accum = a;
                 }
                 Box::new(Bibliometric { options })
             }
@@ -123,6 +129,9 @@ impl SymMethod {
                 };
                 if let Some(t) = spgemm_threads {
                     options.n_threads = t;
+                }
+                if let Some(a) = spgemm_accum {
+                    options.accum = a;
                 }
                 Box::new(DegreeDiscounted { options })
             }
@@ -178,22 +187,24 @@ impl SymMethod {
         nnz_budget: Option<usize>,
         metrics: Option<&symclust_obs::MetricsRegistry>,
     ) -> symclust_core::Result<SymmetrizedGraph> {
-        self.symmetrize_observed_configured(g, token, nnz_budget, None, metrics)
+        self.symmetrize_observed_configured(g, token, nnz_budget, None, None, metrics)
     }
 
     /// [`symmetrize_observed_with_budget`](Self::symmetrize_observed_with_budget)
-    /// with an explicit SpGEMM thread-count override (the engine threads
-    /// the pipeline's `--sym-threads` knob through here). Thread count
-    /// does not affect the output, only wall time.
+    /// with explicit SpGEMM thread-count and accumulator-strategy
+    /// overrides (the engine threads the pipeline's `--sym-threads` /
+    /// `--sym-accum` knobs through here). Neither affects the output,
+    /// only wall time.
     pub fn symmetrize_observed_configured(
         &self,
         g: &DiGraph,
         token: &CancelToken,
         nnz_budget: Option<usize>,
         spgemm_threads: Option<usize>,
+        spgemm_accum: Option<symclust_sparse::AccumStrategy>,
         metrics: Option<&symclust_obs::MetricsRegistry>,
     ) -> symclust_core::Result<SymmetrizedGraph> {
-        self.build_configured(nnz_budget, spgemm_threads)
+        self.build_configured(nnz_budget, spgemm_threads, spgemm_accum)
             .symmetrize_observed(g, token, metrics)
     }
 

@@ -11,6 +11,9 @@
 //! * Gustavson-style sparse matrix–matrix multiplication ([`spgemm`]),
 //!   including a thresholded variant that prunes on the fly and a
 //!   crossbeam-parallel variant scheduled by work-stealing over row blocks,
+//!   with per-row adaptive accumulation ([`AccumStrategy`]): wide rows use
+//!   an epoch-stamped dense scratch accumulator, narrow rows a sorted
+//!   sparse gather, bit-identical either way,
 //! * a symmetric SYRK kernel family ([`spgemm_syrk`]) computing `X·Xᵀ`
 //!   (and fused sums of such products) upper-triangle-only with an O(nnz)
 //!   mirror pass — the hot path of the Bibliometric and Degree-discounted
@@ -27,6 +30,7 @@
 //! to ~4 billion vertices are representable, far beyond what the in-memory
 //! algorithms here will be asked to handle.
 
+pub mod accum;
 pub mod cancel;
 pub mod coo;
 pub mod csr;
@@ -39,6 +43,7 @@ mod sched;
 pub mod spgemm;
 pub mod syrk;
 
+pub use accum::{accum_from_env, AccumStrategy, DEFAULT_ACCUM_CROSSOVER};
 pub use cancel::CancelToken;
 pub use coo::CooMatrix;
 pub use csr::{validate_parts, CsrMatrix};

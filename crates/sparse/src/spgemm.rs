@@ -20,6 +20,10 @@
 //! [`crate::syrk`] that shares this module's scratch discipline, counters
 //! and scheduler.
 
+use crate::accum::{
+    accum_from_env, gather_scaled, reduce_pairs, scatter_scaled, AccumStrategy, DenseAccum,
+    DEFAULT_ACCUM_CROSSOVER,
+};
 use crate::cancel::CancelToken;
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
@@ -66,6 +70,15 @@ pub mod metric_names {
     /// but a persistently high ratio versus total blocks on a skewed graph
     /// is the load-balancing at work.
     pub const SCHED_STEALS: &str = "spgemm.sched_steals";
+    /// Output rows accumulated with the dense epoch-stamped scratch
+    /// (estimated intermediate width at or above the crossover). The
+    /// dense/sparse split depends only on the input structure and the
+    /// crossover — never on thread count — so both counters are
+    /// deterministic and bench-gated.
+    pub const ROWS_DENSE: &str = "spgemm.rows_dense";
+    /// Output rows accumulated with sorted sparse pair lists (estimated
+    /// intermediate width below the crossover).
+    pub const ROWS_SPARSE: &str = "spgemm.rows_sparse";
 }
 
 /// Parses the `SYMCLUST_THREADS` environment variable: the default SpGEMM
@@ -84,6 +97,8 @@ pub(crate) struct SpgemmCounts {
     pub(crate) flops: u64,
     pub(crate) touched: u64,
     pub(crate) emitted: u64,
+    pub(crate) rows_dense: u64,
+    pub(crate) rows_sparse: u64,
 }
 
 impl SpgemmCounts {
@@ -92,6 +107,8 @@ impl SpgemmCounts {
         self.flops += other.flops;
         self.touched += other.touched;
         self.emitted += other.emitted;
+        self.rows_dense += other.rows_dense;
+        self.rows_sparse += other.rows_sparse;
     }
 
     pub(crate) fn flush(&self, metrics: Option<&MetricsRegistry>) {
@@ -103,6 +120,8 @@ impl SpgemmCounts {
         m.counter(metric_names::NNZ_FINAL).add(self.emitted);
         m.counter(metric_names::THRESHOLD_DROPPED)
             .add(self.touched - self.emitted);
+        m.counter(metric_names::ROWS_DENSE).add(self.rows_dense);
+        m.counter(metric_names::ROWS_SPARSE).add(self.rows_sparse);
     }
 }
 
@@ -118,6 +137,16 @@ pub struct SpgemmOptions {
     /// When true, diagonal entries of the output are discarded. Similarity
     /// matrices use this: self-similarity carries no clustering signal.
     pub drop_diagonal: bool,
+    /// Per-row accumulator strategy (see [`crate::accum`]). Output bytes
+    /// and every deterministic counter except `spgemm.rows_dense` /
+    /// `spgemm.rows_sparse` are identical for every setting; the default
+    /// honors the `SYMCLUST_ACCUM` environment variable and falls back to
+    /// [`AccumStrategy::Adaptive`].
+    pub accum: AccumStrategy,
+    /// Adaptive crossover in estimated multiply-adds per row: rows at or
+    /// above it accumulate densely, rows below it sparsely. `None` uses
+    /// [`DEFAULT_ACCUM_CROSSOVER`].
+    pub accum_crossover: Option<usize>,
 }
 
 impl Default for SpgemmOptions {
@@ -126,6 +155,26 @@ impl Default for SpgemmOptions {
             threshold: 0.0,
             n_threads: 0,
             drop_diagonal: false,
+            accum: accum_from_env().unwrap_or_default(),
+            accum_crossover: None,
+        }
+    }
+}
+
+impl SpgemmOptions {
+    /// The effective adaptive crossover for this call.
+    pub(crate) fn crossover(&self) -> usize {
+        self.accum_crossover.unwrap_or(DEFAULT_ACCUM_CROSSOVER)
+    }
+
+    /// Resolves the per-row strategy from the estimated multiply-add
+    /// count (= estimated intermediate width upper bound) for the row.
+    #[inline]
+    pub(crate) fn row_is_dense(&self, estimated_width: usize) -> bool {
+        match self.accum {
+            AccumStrategy::Dense => true,
+            AccumStrategy::Sparse => false,
+            AccumStrategy::Adaptive => estimated_width >= self.crossover(),
         }
     }
 }
@@ -150,45 +199,86 @@ pub(crate) fn resolve_threads(n_threads: usize) -> usize {
     }
 }
 
-/// Computes one output row into the accumulator and flushes entries that pass
-/// the threshold into `(indices, values)`.
+/// Whether an accumulated entry survives emission for output row `row`.
 #[inline]
-#[allow(clippy::too_many_arguments)] // internal hot-path helper: the scratch buffers are deliberately caller-owned
+pub(crate) fn emits(v: f64, j: u32, row: usize, opts: &SpgemmOptions) -> bool {
+    v != 0.0 && v.abs() >= opts.threshold && !(opts.drop_diagonal && j as usize == row)
+}
+
+/// Computes one output row with the strategy [`SpgemmOptions::row_is_dense`]
+/// picks from the row's Gustavson FLOP estimate, and flushes entries that
+/// pass the threshold into `(indices, values)`. Both strategies emit in
+/// ascending column order with bit-identical values (see [`crate::accum`]),
+/// so the choice never leaks into the output or the downstream block
+/// assembly.
+#[inline]
+#[allow(clippy::too_many_arguments)]
 fn gustavson_row(
     a: &CsrMatrix,
     b: &CsrMatrix,
     row: usize,
-    acc: &mut [f64],
-    touched: &mut Vec<u32>,
+    scratch: &mut RowScratch,
     opts: &SpgemmOptions,
     indices: &mut Vec<u32>,
     values: &mut Vec<f64>,
     counts: &mut SpgemmCounts,
 ) {
     let emitted_before = indices.len();
-    for (k, av) in a.row_iter(row) {
-        counts.flops += b.row_nnz(k as usize) as u64;
-        for (j, bv) in b.row_iter(k as usize) {
-            let slot = &mut acc[j as usize];
-            if *slot == 0.0 {
-                touched.push(j);
+    // The row's exact multiply-add count doubles as the §3.6-style
+    // estimate of its intermediate width (every product touches at most
+    // one distinct column), so the strategy decision is free and depends
+    // only on the input structure.
+    let estimated_width: usize = a
+        .row_indices(row)
+        .iter()
+        .map(|&k| b.row_nnz(k as usize))
+        .sum();
+    counts.flops += estimated_width as u64;
+    if opts.row_is_dense(estimated_width) {
+        counts.rows_dense += 1;
+        let acc = &mut scratch.acc;
+        let touched = &mut scratch.touched;
+        acc.begin_row();
+        touched.clear();
+        for (k, av) in a.row_iter(row) {
+            scatter_scaled(
+                acc,
+                touched,
+                av,
+                b.row_indices(k as usize),
+                b.row_values(k as usize),
+            );
+        }
+        touched.sort_unstable();
+        for &j in touched.iter() {
+            let v = acc.get(j);
+            if emits(v, j, row, opts) {
+                indices.push(j);
+                values.push(v);
             }
-            *slot += av * bv;
         }
-    }
-    touched.sort_unstable();
-    for &j in touched.iter() {
-        let v = acc[j as usize];
-        acc[j as usize] = 0.0;
-        if v != 0.0 && v.abs() >= opts.threshold && !(opts.drop_diagonal && j as usize == row) {
-            indices.push(j);
-            values.push(v);
+        counts.touched += touched.len() as u64;
+    } else {
+        counts.rows_sparse += 1;
+        let pairs = &mut scratch.pairs;
+        pairs.clear();
+        for (k, av) in a.row_iter(row) {
+            gather_scaled(
+                pairs,
+                av,
+                b.row_indices(k as usize),
+                b.row_values(k as usize),
+            );
         }
+        counts.touched += reduce_pairs(pairs, |j, v| {
+            if emits(v, j, row, opts) {
+                indices.push(j);
+                values.push(v);
+            }
+        });
     }
     counts.rows += 1;
-    counts.touched += touched.len() as u64;
     counts.emitted += (indices.len() - emitted_before) as u64;
-    touched.clear();
 }
 
 /// Output triple (plus work counters) of a row-kernel run, shared between
@@ -417,18 +507,23 @@ where
     })
 }
 
-/// Dense accumulator + touched-column scratch for Gustavson-style row
-/// kernels.
+/// Per-worker scratch for the general Gustavson kernel: the dense
+/// epoch-stamped accumulator, its duplicate-free touched-column list, and
+/// the pair buffer the sparse strategy gathers into. Both buffers are
+/// reused across every row the worker executes, so a mixed adaptive run
+/// allocates each at its high-water mark once.
 pub(crate) struct RowScratch {
-    pub(crate) acc: Vec<f64>,
+    pub(crate) acc: DenseAccum,
     pub(crate) touched: Vec<u32>,
+    pub(crate) pairs: Vec<(u32, f64)>,
 }
 
 impl RowScratch {
     pub(crate) fn new(n_cols: usize) -> Self {
         RowScratch {
-            acc: vec![0.0f64; n_cols],
+            acc: DenseAccum::new(n_cols),
             touched: Vec::new(),
+            pairs: Vec::new(),
         }
     }
 }
@@ -488,17 +583,7 @@ fn spgemm_serial_with_token(
         token,
         &|| RowScratch::new(n_cols),
         &|row, scratch: &mut RowScratch, indices, values, counts| {
-            gustavson_row(
-                a,
-                b,
-                row,
-                &mut scratch.acc,
-                &mut scratch.touched,
-                opts,
-                indices,
-                values,
-                counts,
-            );
+            gustavson_row(a, b, row, scratch, opts, indices, values, counts);
         },
     )?;
     out.counts.flush(metrics);
@@ -535,17 +620,7 @@ fn spgemm_parallel_with_token(
         token,
         || RowScratch::new(n_cols),
         |row, scratch: &mut RowScratch, indices, values, counts| {
-            gustavson_row(
-                a,
-                b,
-                row,
-                &mut scratch.acc,
-                &mut scratch.touched,
-                opts,
-                indices,
-                values,
-                counts,
-            );
+            gustavson_row(a, b, row, scratch, opts, indices, values, counts);
         },
     )?;
     out.counts.flush(metrics);
@@ -641,8 +716,7 @@ pub fn spgemm_budgeted(
     let mut compactions = 0u64;
     let n_rows = a.n_rows();
     let n_cols = b.n_cols();
-    let mut acc = vec![0.0f64; n_cols];
-    let mut touched: Vec<u32> = Vec::new();
+    let mut scratch = RowScratch::new(n_cols);
     let mut indptr = Vec::with_capacity(n_rows + 1);
     indptr.push(0usize);
     let mut indices: Vec<u32> = Vec::new();
@@ -657,8 +731,7 @@ pub fn spgemm_budgeted(
             a,
             b,
             row,
-            &mut acc,
-            &mut touched,
+            &mut scratch,
             &live_opts,
             &mut indices,
             &mut values,

@@ -31,19 +31,31 @@
 //! `DegreeDiscounted` skip materializing the two full intermediate
 //! products entirely.
 //!
+//! Like the general kernel, each output row picks its accumulator
+//! adaptively (see [`crate::accum`]): wide rows scatter into per-term
+//! epoch-stamped dense accumulators with a shared duplicate-free touched
+//! list; narrow rows gather `(column, term, product)` triples and reduce
+//! them with a stable sort that reproduces the dense path's term-ordered
+//! rounding bit for bit. The width estimate is the row's full Σₜ Σₖ
+//! nnz(Xₜᵀ row k) product count — a deterministic function of the input
+//! structure alone, so the strategy mix never depends on thread count.
+//!
 //! Parallelism, cancellation, budget degradation and observability all
 //! ride on the shared row-runner in [`crate::spgemm`]: work-stealing row
 //! blocks with deterministic assembly, per-row cancellation checkpoints,
 //! adaptive-threshold degraded fallback, and the `spgemm.*` counters plus
 //! the SYRK-specific `spgemm.syrk_calls` / `spgemm.syrk_mirrored_nnz`.
 
+use crate::accum::{
+    gather_scaled_term, reduce_pairs_terms, scatter_scaled_seen, DenseAccum, TouchStamp,
+};
 use crate::cancel::CancelToken;
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
 use crate::ops::transpose;
 use crate::spgemm::{
-    compact_thresholded, metric_names, raised_threshold, run_rows, spgemm_flops, BudgetedSpgemm,
-    RowKernelOutput, SpgemmCounts, SpgemmOptions,
+    compact_thresholded, emits, metric_names, raised_threshold, run_rows, spgemm_flops,
+    BudgetedSpgemm, RowKernelOutput, SpgemmCounts, SpgemmOptions,
 };
 use crate::Result;
 use symclust_obs::MetricsRegistry;
@@ -82,18 +94,23 @@ fn check_terms(terms: &[SyrkTerm<'_>]) -> Result<usize> {
     Ok(n)
 }
 
-/// Per-worker scratch: one dense accumulator per term plus a shared
-/// touched-column list.
+/// Per-worker scratch: one epoch-stamped dense accumulator per term, a
+/// shared duplicate-free touched-column list, and the triple buffer used
+/// by sparse rows.
 struct SyrkScratch {
-    accs: Vec<Vec<f64>>,
+    accs: Vec<DenseAccum>,
+    seen: TouchStamp,
     touched: Vec<u32>,
+    pairs: Vec<(u32, u32, f64)>,
 }
 
 impl SyrkScratch {
     fn new(n: usize, n_terms: usize) -> Self {
         SyrkScratch {
-            accs: (0..n_terms).map(|_| vec![0.0f64; n]).collect(),
+            accs: (0..n_terms).map(|_| DenseAccum::new(n)).collect(),
+            seen: TouchStamp::new(n),
             touched: Vec::new(),
+            pairs: Vec::new(),
         }
     }
 }
@@ -110,46 +127,85 @@ fn syrk_row(
     counts: &mut SpgemmCounts,
 ) {
     let emitted_before = indices.len();
-    for (t, term) in terms.iter().enumerate() {
-        let acc = &mut scratch.accs[t];
-        for (k, xv) in term.x.row_iter(row) {
-            let cols = term.xt.row_indices(k as usize);
-            let vals = term.xt.row_values(k as usize);
-            // Columns are sorted: everything from `start` on is j >= row.
-            let start = cols.partition_point(|&j| (j as usize) < row);
-            counts.flops += (cols.len() - start) as u64;
-            for (j, xtv) in cols[start..].iter().zip(&vals[start..]) {
-                let slot = &mut acc[*j as usize];
-                if *slot == 0.0 {
-                    scratch.touched.push(*j);
-                }
-                *slot += xv * xtv;
+    // Width estimate for the strategy choice: the row's *full* product
+    // count across terms, a structure-only upper bound on the
+    // upper-triangle work below. Depends on the input and nothing else,
+    // so the dense/sparse mix is deterministic and thread-independent.
+    // The flops counter keeps its exact post-`partition_point` count.
+    let estimated_width: usize = terms
+        .iter()
+        .map(|term| {
+            term.x
+                .row_indices(row)
+                .iter()
+                .map(|&k| term.xt.row_nnz(k as usize))
+                .sum::<usize>()
+        })
+        .sum();
+    let SyrkScratch {
+        accs,
+        seen,
+        touched,
+        pairs,
+    } = scratch;
+    let distinct = if opts.row_is_dense(estimated_width) {
+        counts.rows_dense += 1;
+        seen.begin_row();
+        touched.clear();
+        for (term, acc) in terms.iter().zip(accs.iter_mut()) {
+            acc.begin_row();
+            for (k, xv) in term.x.row_iter(row) {
+                let cols = term.xt.row_indices(k as usize);
+                let vals = term.xt.row_values(k as usize);
+                // Columns are sorted: everything from `start` on is j >= row.
+                let start = cols.partition_point(|&j| (j as usize) < row);
+                counts.flops += (cols.len() - start) as u64;
+                scatter_scaled_seen(acc, seen, touched, xv, &cols[start..], &vals[start..]);
             }
         }
-    }
-    // The touched list can hold duplicates (several terms touching the
-    // same column, or a slot cancelling back to exactly 0.0 and being
-    // re-touched); sort + dedup makes the emit pass visit each column
-    // once.
-    scratch.touched.sort_unstable();
-    scratch.touched.dedup();
-    for &j in scratch.touched.iter() {
-        // One final ordered add across terms: the same rounding as
-        // computing each product separately and ops::add-ing them.
-        let mut v = 0.0f64;
-        for acc in scratch.accs.iter_mut() {
-            v += acc[j as usize];
-            acc[j as usize] = 0.0;
+        // Emit in ascending column order so block-ordered assembly and
+        // the mirror pass see sorted rows regardless of strategy.
+        touched.sort_unstable();
+        for &j in touched.iter() {
+            // One final ordered add across terms: the same rounding as
+            // computing each product separately and ops::add-ing them.
+            // Terms that never touched `j` are skipped, eliding only
+            // `+ 0.0` adds that cannot change an emitted bit (see
+            // [`crate::accum::reduce_pairs_terms`]).
+            let mut v = 0.0f64;
+            for acc in accs.iter() {
+                if acc.touched(j) {
+                    v += acc.get(j);
+                }
+            }
+            if emits(v, j, row, opts) {
+                indices.push(j);
+                values.push(v);
+            }
         }
-        if v != 0.0 && v.abs() >= opts.threshold && !(opts.drop_diagonal && j as usize == row) {
-            indices.push(j);
-            values.push(v);
+        touched.len() as u64
+    } else {
+        counts.rows_sparse += 1;
+        pairs.clear();
+        for (t, term) in terms.iter().enumerate() {
+            for (k, xv) in term.x.row_iter(row) {
+                let cols = term.xt.row_indices(k as usize);
+                let vals = term.xt.row_values(k as usize);
+                let start = cols.partition_point(|&j| (j as usize) < row);
+                counts.flops += (cols.len() - start) as u64;
+                gather_scaled_term(pairs, t as u32, xv, &cols[start..], &vals[start..]);
+            }
         }
-    }
+        reduce_pairs_terms(pairs, |j, v| {
+            if emits(v, j, row, opts) {
+                indices.push(j);
+                values.push(v);
+            }
+        })
+    };
     counts.rows += 1;
-    counts.touched += scratch.touched.len() as u64;
+    counts.touched += distinct;
     counts.emitted += (indices.len() - emitted_before) as u64;
-    scratch.touched.clear();
 }
 
 /// Mirrors an upper-triangular CSR (every stored column `j ≥` its row)
@@ -430,6 +486,72 @@ mod tests {
         )
         .unwrap();
         assert_eq!(separate, fused);
+    }
+
+    #[test]
+    fn syrk_accum_strategies_are_bitwise_identical() {
+        use crate::accum::AccumStrategy;
+        let x = pseudo_random_matrix(64, 48, 0x243F6A8885A308D3, 3);
+        let y = pseudo_random_matrix(64, 40, 0x9E3779B97F4A7C15, 3);
+        let (xt, yt) = (transpose(&x), transpose(&y));
+        let terms = [SyrkTerm { x: &x, xt: &xt }, SyrkTerm { x: &y, xt: &yt }];
+        let run = |accum, crossover| {
+            let opts = SpgemmOptions {
+                accum,
+                accum_crossover: crossover,
+                drop_diagonal: true,
+                threshold: 0.5,
+                ..Default::default()
+            };
+            spgemm_syrk_sum_observed(&terms, &opts, None, None).unwrap()
+        };
+        let dense = run(AccumStrategy::Dense, None);
+        let sparse = run(AccumStrategy::Sparse, None);
+        assert_eq!(dense, sparse);
+        for crossover in [1, 8, 64, 10_000] {
+            assert_eq!(dense, run(AccumStrategy::Adaptive, Some(crossover)));
+        }
+    }
+
+    #[test]
+    fn syrk_rows_split_between_strategies_deterministically() {
+        use crate::accum::AccumStrategy;
+        // Skewed rows: even rows are wide hubs (estimate far above the
+        // crossover), odd rows touch one private column (estimate 1).
+        let n = 64usize;
+        let mut dense = vec![vec![0.0f64; n]; n];
+        for (i, row) in dense.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                for v in row.iter_mut().take(16) {
+                    *v = 1.0 + i as f64 * 0.125;
+                }
+            } else {
+                row[i] = 2.0;
+            }
+        }
+        let x = CsrMatrix::from_dense(&dense);
+        let xt = transpose(&x);
+        let count = |n_threads| {
+            let m = MetricsRegistry::new();
+            let opts = SpgemmOptions {
+                accum: AccumStrategy::Adaptive,
+                accum_crossover: Some(64),
+                n_threads,
+                ..Default::default()
+            };
+            spgemm_syrk_observed(&x, &xt, &opts, None, Some(&m)).unwrap();
+            let snap = m.snapshot();
+            (
+                snap.counter(metric_names::ROWS_DENSE).unwrap(),
+                snap.counter(metric_names::ROWS_SPARSE).unwrap(),
+                snap.counter(metric_names::ROWS).unwrap(),
+            )
+        };
+        let (d1, s1, rows1) = count(1);
+        assert!(d1 > 0, "expected some dense rows");
+        assert!(s1 > 0, "expected some sparse rows");
+        assert_eq!(d1 + s1, rows1);
+        assert_eq!((d1, s1, rows1), count(4), "strategy mix depends on threads");
     }
 
     #[test]

@@ -132,6 +132,7 @@ fn threshold_and_drop_diagonal_match_general_kernel_on_hub_graphs() {
                     threshold,
                     drop_diagonal,
                     n_threads: 1,
+                    ..Default::default()
                 };
                 let general = spgemm_observed(&x, &xt, &opts, None, None).unwrap();
                 let syrk = spgemm_syrk_observed(&x, &xt, &opts, None, None).unwrap();

@@ -39,3 +39,17 @@ cargo build --release -q -p symclust-cli -p symclust-bench
 # a disk hit — zero SpGEMM calls, bit-identical matrix — and strictly
 # faster than the cold compute.
 ./target/release/bench_gate serve-check examples/data/dsbm_small.txt
+
+# Adaptive-accumulator lock: the adaptive per-row strategy must produce
+# byte-identical output to forced-sparse accumulation, pick the dense
+# path for at least one row, and be strictly faster on the bundled graph.
+./target/release/bench_gate accum-check examples/data/dsbm_small.txt
+
+# Perf trajectory: append {commit, wall_ms, flops, rows_dense, rows_sparse}
+# to the checked-in history so CI accumulates a wall-time record run over
+# run (set BENCH_GATE_NO_TRAJECTORY=1 to skip, e.g. for local experiments).
+if [ -z "${BENCH_GATE_NO_TRAJECTORY:-}" ]; then
+  ./target/release/bench_gate trajectory \
+    "$OUT_DIR/BENCH_pipeline.json" bench_results/trajectory.jsonl \
+    "$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+fi

@@ -109,13 +109,17 @@ stage_serve() {
   }
 }
 # Scheduling-determinism matrix: the kernel/symmetrizer tests must pass
-# with the SpGEMM thread default forced serial and forced 4-way, since
+# with the SpGEMM thread default forced serial and forced 4-way, and
+# under every accumulator strategy (dense / sparse / adaptive), since
 # output (and every deterministic counter) is spec'd bit-identical for
-# any thread count.
+# any thread count and any strategy mix.
 stage_threads_matrix() {
-  for n in 1 4; do
-    echo "--- SYMCLUST_THREADS=$n"
-    SYMCLUST_THREADS="$n" cargo test -q -p symclust-sparse -p symclust-core
+  for accum in dense sparse adaptive; do
+    for n in 1 4; do
+      echo "--- SYMCLUST_ACCUM=$accum SYMCLUST_THREADS=$n"
+      SYMCLUST_ACCUM="$accum" SYMCLUST_THREADS="$n" \
+        cargo test -q -p symclust-sparse -p symclust-core
+    done
   done
 }
 
