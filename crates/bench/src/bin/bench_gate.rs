@@ -6,6 +6,8 @@
 //! bench_gate syrk-check  <graph.txt>
 //! bench_gate serve-check <graph.txt>
 //! bench_gate accum-check <graph.txt>
+//! bench_gate panel-check <graph.txt>
+//! bench_gate oom-check
 //! bench_gate trajectory  <BENCH_pipeline.json> <trajectory.jsonl> [commit]
 //! ```
 //!
@@ -27,7 +29,17 @@
 //! Bibliometric product under forced-sparse accumulation and under the
 //! adaptive strategy must be byte-identical, the adaptive pass must
 //! actually pick the dense path for some rows, and its best-of-3 wall
-//! time must be strictly below forced-sparse's. `trajectory` appends
+//! time must be strictly below forced-sparse's. `panel-check` is the
+//! lock on the out-of-core panel path (DESIGN.md §17): the Bibliometric
+//! product under a forced tiny panel size and a 1-byte spill budget —
+//! multiple tiles, at least one spilled to scratch files — must be
+//! byte-identical to the in-memory product with identical deterministic
+//! work counters, serially and in parallel, while the in-memory path
+//! reports zero panels and zero spills. `oom-check` drives the full
+//! symmetrize→cluster pipeline over a *streamed* DSBM edge list at
+//! least 4× larger than the spill byte budget it is given, and fails
+//! unless the run finishes without failures, actually spills, and
+//! recovers the planted clusters (F-score floor). `trajectory` appends
 //! one `{commit, wall_ms, spgemm.flops, rows_dense, rows_sparse}` JSON
 //! line from a BENCH file to the checked-in perf history.
 
@@ -35,7 +47,8 @@ use symclust_bench::gate;
 use symclust_obs::MetricsRegistry;
 use symclust_sparse::spgemm::metric_names;
 use symclust_sparse::{
-    ops, spgemm_observed, spgemm_syrk_sum_observed, AccumStrategy, SpgemmOptions, SyrkTerm,
+    ops, spgemm_observed, spgemm_syrk_sum_observed, AccumStrategy, PanelPlan, SpgemmOptions,
+    SyrkTerm,
 };
 
 fn main() {
@@ -111,6 +124,18 @@ fn run() -> Result<(), String> {
             };
             accum_check(graph_path)
         }
+        Some("panel-check") => {
+            let [_, graph_path] = args.as_slice() else {
+                return Err("usage: bench_gate panel-check <graph.txt>".into());
+            };
+            panel_check(graph_path)
+        }
+        Some("oom-check") => {
+            if args.len() != 1 {
+                return Err("usage: bench_gate oom-check".into());
+            }
+            oom_check()
+        }
         Some("trajectory") => {
             let (bench_path, out_path, commit) = match args.as_slice() {
                 [_, b, o] => (b, o, "unknown"),
@@ -125,8 +150,8 @@ fn run() -> Result<(), String> {
             trajectory_append(bench_path, out_path, commit)
         }
         _ => Err(
-            "usage: bench_gate emit|check|syrk-check|serve-check|accum-check|trajectory ... \
-             (see --help in source)"
+            "usage: bench_gate emit|check|syrk-check|serve-check|accum-check|panel-check\
+             |oom-check|trajectory ... (see --help in source)"
                 .into(),
         ),
     }
@@ -206,6 +231,217 @@ fn accum_check(graph_path: &str) -> Result<(), String> {
         sparse_wall.as_secs_f64() * 1e3,
         sparse_wall.as_secs_f64() / adaptive_wall.as_secs_f64().max(1e-9),
         adaptive.nnz()
+    );
+    Ok(())
+}
+
+/// Runs the fused Bibliometric SYRK product through the default in-memory
+/// path and through a forced tiny-panel/1-byte-budget out-of-core
+/// configuration (serial and parallel) and fails unless the spilled runs
+/// execute multiple tiles with at least one spill, report identical
+/// deterministic work counters, and return the byte-identical matrix,
+/// while the in-memory run reports zero panel activity.
+fn panel_check(graph_path: &str) -> Result<(), String> {
+    let g = symclust_graph::io::read_edge_list_file(graph_path)
+        .map_err(|e| format!("reading {graph_path}: {e}"))?;
+    let a = ops::add_diagonal(g.adjacency(), 1.0).map_err(|e| e.to_string())?;
+    let at = ops::transpose(&a);
+    let terms = [SyrkTerm { x: &a, xt: &at }, SyrkTerm { x: &at, xt: &a }];
+
+    // Counters that must match exactly between the in-memory and panel
+    // paths: the deterministic work measures, not the panel bookkeeping.
+    const WORK_KEYS: &[&str] = &[
+        metric_names::ROWS,
+        metric_names::FLOPS,
+        metric_names::NNZ_INTERMEDIATE,
+        metric_names::NNZ_FINAL,
+        metric_names::THRESHOLD_DROPPED,
+        metric_names::ROWS_DENSE,
+        metric_names::ROWS_SPARSE,
+        metric_names::SYRK_MIRRORED_NNZ,
+    ];
+
+    let run = |panel: PanelPlan, n_threads: usize| -> Result<_, String> {
+        let opts = SpgemmOptions {
+            drop_diagonal: true,
+            n_threads,
+            panel,
+            ..Default::default()
+        };
+        let metrics = MetricsRegistry::new();
+        let c = spgemm_syrk_sum_observed(&terms, &opts, None, Some(&metrics))
+            .map_err(|e| e.to_string())?;
+        let snap = metrics.snapshot();
+        let work: Vec<u64> = WORK_KEYS
+            .iter()
+            .map(|k| snap.counter(k).unwrap_or(0))
+            .collect();
+        Ok((
+            c,
+            work,
+            snap.counter(metric_names::PANELS).unwrap_or(0),
+            snap.counter(metric_names::PANEL_SPILLS).unwrap_or(0),
+            snap.counter(metric_names::SPILL_BYTES).unwrap_or(0),
+        ))
+    };
+
+    // Deliberately *not* from_env: the gate must compare a true in-memory
+    // run against a forced out-of-core one regardless of the environment.
+    let (mem, mem_work, mem_panels, mem_spills, mem_bytes) = run(PanelPlan::default(), 1)?;
+    if mem_panels != 0 || mem_spills != 0 || mem_bytes != 0 {
+        return Err(format!(
+            "in-memory run reported panel activity: panels {mem_panels}, \
+             spills {mem_spills}, spill bytes {mem_bytes}"
+        ));
+    }
+
+    let forced = PanelPlan {
+        panel_rows: Some((g.n_nodes() / 4).max(1)),
+        budget_bytes: Some(1), // every tile past the first estimate spills
+        spill_dir: None,
+    };
+    let (panel, panel_work, panels, spills, bytes) = run(forced.clone(), 1)?;
+    if panels <= 1 {
+        return Err(format!(
+            "forced panel run executed {panels} tile(s), need > 1"
+        ));
+    }
+    if spills == 0 || bytes == 0 {
+        return Err(format!(
+            "forced panel run never spilled (spills {spills}, bytes {bytes})"
+        ));
+    }
+    if panel != mem {
+        return Err("panel output differs from the in-memory product".into());
+    }
+    for (key, (m, p)) in WORK_KEYS.iter().zip(mem_work.iter().zip(&panel_work)) {
+        if m != p {
+            return Err(format!(
+                "work counter {key} diverged: in-memory {m}, panel {p}"
+            ));
+        }
+    }
+
+    let (par, _par_work, par_panels, par_spills, par_bytes) = run(forced, 0)?;
+    if par != mem {
+        return Err("parallel panel output differs from the in-memory product".into());
+    }
+    if (par_panels, par_spills, par_bytes) != (panels, spills, bytes) {
+        return Err(format!(
+            "panel counters are scheduling-dependent: serial ({panels}, {spills}, {bytes}) \
+             vs parallel ({par_panels}, {par_spills}, {par_bytes})"
+        ));
+    }
+
+    println!(
+        "panel gate OK: {graph_path}: {panels} tiles, {spills} spilled ({bytes} bytes), \
+         output identical in-memory/serial-panel/parallel-panel ({} nnz)",
+        mem.nnz()
+    );
+    Ok(())
+}
+
+/// Streams a planted-partition DSBM edge list to disk, then runs the full
+/// symmetrize→cluster pipeline on it under a spill byte budget at most a
+/// quarter of the file size. Fails unless the run completes without stage
+/// failures, the SpGEMM actually spills, and the recovered clustering
+/// scores at least [`OOM_F_SCORE_FLOOR`] against the planted truth.
+const OOM_F_SCORE_FLOOR: f64 = 50.0;
+
+fn oom_check() -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("symclust_oom_gate_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let result = oom_check_in(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+    result
+}
+
+fn oom_check_in(dir: &std::path::Path) -> Result<(), String> {
+    use symclust_datasets::stream::{stream_dsbm_to_files, StreamDsbmConfig};
+    use symclust_engine::{
+        Clusterer, Engine, EngineOptions, PipelineInput, PipelineSpec, SymMethod,
+    };
+
+    let cfg = StreamDsbmConfig {
+        n_nodes: 12_000,
+        n_clusters: 24,
+        intra_degree: 8,
+        inter_degree: 2,
+        seed: 20_110_325, // EDBT 2011
+    };
+    let edges_path = dir.join("oom.txt");
+    let truth_path = dir.join("oom.truth.txt");
+    stream_dsbm_to_files(&cfg, &edges_path, &truth_path)
+        .map_err(|e| format!("streaming DSBM: {e}"))?;
+    let file_bytes = std::fs::metadata(&edges_path)
+        .map_err(|e| format!("stat {}: {e}", edges_path.display()))?
+        .len();
+    // The whole point: the input on disk is ≥ 4× the spill budget the
+    // multiply gets for in-flight partial products.
+    let budget_bytes = (file_bytes / 4) as usize;
+
+    let graph = symclust_graph::io::read_edge_list_file(&edges_path)
+        .map_err(|e| format!("loading streamed edge list: {e}"))?;
+    let categories: Vec<Vec<u32>> = (0..cfg.n_clusters)
+        .map(|c| {
+            (0..cfg.n_nodes as u32)
+                .filter(|&u| cfg.cluster_of(u as usize) == c as u32)
+                .collect()
+        })
+        .collect();
+    let truth = symclust_graph::GroundTruth::new(cfg.n_nodes, categories)
+        .map_err(|e| format!("building truth: {e}"))?;
+
+    let registry = MetricsRegistry::new();
+    let opts = EngineOptions {
+        spgemm_panel: Some(PanelPlan {
+            panel_rows: Some(cfg.n_nodes / 8),
+            budget_bytes: Some(budget_bytes),
+            spill_dir: Some(dir.to_path_buf()),
+        }),
+        metrics: Some(registry.clone()),
+        ..Default::default()
+    };
+    let spec = PipelineSpec {
+        methods: vec![SymMethod::Bibliometric { threshold: 2.0 }],
+        clusterers: vec![Clusterer::MlrMcl { inflation: 2.0 }],
+        extra_prune: None,
+    };
+    let engine = Engine::new(opts);
+    let input = PipelineInput::new("oom_dsbm", graph, Some(truth));
+    let result = engine.run(&input, &spec, &|_| {});
+    if !result.failures.is_empty() {
+        return Err(format!(
+            "pipeline failed under the spill budget: {:?}",
+            result.failures
+        ));
+    }
+    let snap = registry.snapshot();
+    let spills = snap.counter(metric_names::PANEL_SPILLS).unwrap_or(0);
+    let spill_bytes = snap.counter(metric_names::SPILL_BYTES).unwrap_or(0);
+    if spills == 0 {
+        return Err(format!(
+            "multiply never spilled under a {budget_bytes}-byte budget \
+             (input file is {file_bytes} bytes)"
+        ));
+    }
+    let record = result
+        .records
+        .first()
+        .ok_or("pipeline produced no records")?;
+    let f = record
+        .f_score
+        .ok_or("record has no F-score despite ground truth")?;
+    if f < OOM_F_SCORE_FLOOR {
+        return Err(format!(
+            "F-score {f:.1}% below the {OOM_F_SCORE_FLOOR}% floor — \
+             out-of-core execution degraded clustering quality"
+        ));
+    }
+    println!(
+        "oom gate OK: {file_bytes}-byte streamed graph under a {budget_bytes}-byte spill \
+         budget: {spills} tile(s) spilled ({spill_bytes} bytes), F-score {f:.1}%"
     );
     Ok(())
 }

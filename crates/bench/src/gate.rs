@@ -40,10 +40,17 @@ pub const EXACT_KEYS: &[&str] = &[
     "gauge.store.degraded",
     "counter.spgemm.rows_dense",
     "counter.spgemm.rows_sparse",
+    "counter.spgemm.panels",
+    "counter.spgemm.panel_spills",
+    "counter.spgemm.spill_bytes",
 ];
 // NOT gated: `counter.spgemm.sched_steals` — the work-stealing scheduler's
 // steal count depends on thread count and machine load, so it is exactly
 // the kind of scheduling-dependent metric the module docs exclude.
+// The three panel counters ARE gated: the spill plan is a pure function of
+// the input matrices, panel size and byte budget (DESIGN.md §17), never of
+// thread count or scheduling, so their values are exact for a fixed config
+// (all zero while the default in-memory path is in use).
 // The two store health metrics above ARE deterministic on a healthy run:
 // both must be exactly zero unless the disk itself misbehaved, which is
 // precisely what the gate should catch.

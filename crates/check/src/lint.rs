@@ -90,6 +90,10 @@ pub const RULES: &[(&str, &str)] = &[
         "store-faultfs",
         "every filesystem call in crates/store goes through the faultfs shim",
     ),
+    (
+        "sparse-spillfs",
+        "every filesystem call in crates/sparse goes through the spill module",
+    ),
 ];
 
 /// Public kernels allowed to omit `CancelToken`, with the reason. Every
@@ -311,6 +315,25 @@ const ALLOW_RAW_FS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Raw-filesystem occurrences allowed in `crates/sparse` library code:
+/// `(path suffix, stripped-line needle, reason)`. Staleness-checked. The
+/// out-of-core panel path (DESIGN.md §17) funnels all scratch-file I/O
+/// through `spill.rs` so its cleanup guarantees (RAII removal on success,
+/// error, cancellation and panic) cannot be bypassed by a kernel opening
+/// files directly.
+const ALLOW_SPARSE_RAW_FS: &[(&str, &str, &str)] = &[
+    (
+        "sparse/src/spill.rs",
+        "std::fs",
+        "the spill module imports the std::fs it mediates",
+    ),
+    (
+        "sparse/src/spill.rs",
+        "fs::",
+        "the spill module is the single scratch-I/O mediation point; raw calls live only here",
+    ),
+];
+
 /// Tokens banned from cache-key/fingerprint code, with the reason shown in
 /// the violation.
 const CACHE_KEY_BANNED: &[(&str, &str)] = &[
@@ -346,6 +369,22 @@ const CACHE_KEY_BANNED: &[(&str, &str)] = &[
         "SYMCLUST_ACCUM",
         "the accumulator env knob must not reach cache keys (strategies are bit-identical)",
     ),
+    (
+        "PanelPlan",
+        "the out-of-core panel plan must not reach cache keys (the panel path is bit-identical)",
+    ),
+    (
+        "spgemm_panel",
+        "the out-of-core panel plan must not reach cache keys (the panel path is bit-identical)",
+    ),
+    (
+        "SYMCLUST_PANEL_ROWS",
+        "the panel-size env knob must not reach cache keys (the panel path is bit-identical)",
+    ),
+    (
+        "SYMCLUST_MEMORY_BUDGET",
+        "the spill-budget env knob must not reach cache keys (the panel path is bit-identical)",
+    ),
 ];
 
 /// Name fragments that mark a `pub fn` as a kernel entry point for the
@@ -375,6 +414,7 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
     violations.extend(rule_no_unwrap_expect(&sources));
     violations.extend(rule_cache_key_purity(&sources));
     violations.extend(rule_store_faultfs(&sources));
+    violations.extend(rule_sparse_spillfs(&sources));
     violations
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(violations)
@@ -1081,6 +1121,50 @@ fn rule_store_faultfs(sources: &[SourceFile]) -> Vec<Violation> {
     violations
 }
 
+// ---------------------------------------------------------------- rule 6
+
+fn rule_sparse_spillfs(sources: &[SourceFile]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut allow_hits = vec![false; ALLOW_SPARSE_RAW_FS.len()];
+    for file in sources {
+        if file.crate_name() != "sparse" || file.is_bin() {
+            continue;
+        }
+        for (lineno, code, _raw) in file.lib_lines() {
+            let Some(token) = RAW_FS_TOKENS.iter().find(|t| has_raw_fs_token(code, t)) else {
+                continue;
+            };
+            if let Some(pos) = ALLOW_SPARSE_RAW_FS.iter().position(|(path, needle, _)| {
+                file.rel_path.ends_with(path) && code.contains(needle)
+            }) {
+                allow_hits[pos] = true;
+                continue;
+            }
+            violations.push(Violation {
+                rule: "sparse-spillfs",
+                file: file.rel_path.clone(),
+                line: lineno,
+                message: format!(
+                    "`{token}` bypasses the spill module; route scratch I/O through \
+                     crate::spill so the RAII cleanup guarantees cover it (or \
+                     allowlist it in crates/check with the reason)"
+                ),
+            });
+        }
+    }
+    for (hit, (path, needle, _)) in allow_hits.iter().zip(ALLOW_SPARSE_RAW_FS) {
+        if !hit {
+            violations.push(Violation {
+                rule: "sparse-spillfs",
+                file: "crates/check/src/lint.rs".into(),
+                line: 0,
+                message: format!("stale allowlist entry ({path}, {needle:?}) matches nothing"),
+            });
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1199,6 +1283,39 @@ mod tests {
             "    std::fs::write(&path, body)?;",
         );
         let violations = rule_store_faultfs(std::slice::from_ref(&elsewhere));
+        assert!(violations.iter().all(|v| v.line == 0), "{violations:?}");
+    }
+
+    #[test]
+    fn raw_fs_in_sparse_library_code_is_flagged() {
+        let mk = |rel_path: &str, line: &str| SourceFile {
+            rel_path: rel_path.into(),
+            raw_lines: vec![line.into()],
+            code_lines: vec![line.into()],
+            test_start: usize::MAX,
+        };
+        let rogue = mk(
+            "crates/sparse/src/panel.rs",
+            "    let data = std::fs::read(&path)?;",
+        );
+        let violations = rule_sparse_spillfs(std::slice::from_ref(&rogue));
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "sparse-spillfs" && v.message.contains("spill")),
+            "{violations:?}"
+        );
+        // The mediation point itself is allowlisted (only staleness
+        // entries fire, pointing at the check crate).
+        let shim = mk("crates/sparse/src/spill.rs", "use std::fs;");
+        let violations = rule_sparse_spillfs(std::slice::from_ref(&shim));
+        assert!(violations.iter().all(|v| v.line == 0), "{violations:?}");
+        // Outside the sparse crate the rule does not apply at all.
+        let elsewhere = mk(
+            "crates/datasets/src/stream.rs",
+            "    let file = fs::File::create(path)?;",
+        );
+        let violations = rule_sparse_spillfs(std::slice::from_ref(&elsewhere));
         assert!(violations.iter().all(|v| v.line == 0), "{violations:?}");
     }
 

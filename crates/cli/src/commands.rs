@@ -323,6 +323,13 @@ pub fn pipeline(args: &ParsedArgs) -> CmdResult {
         memory_budget: args.get::<usize>("memory-budget")?,
         spgemm_threads: args.get::<usize>("sym-threads")?,
         spgemm_accum: args.get::<symclust_sparse::AccumStrategy>("sym-accum")?,
+        spgemm_panel: args.get::<usize>("sym-panel-rows")?.map(|rows| {
+            // Start from the env plan so `--sym-panel-rows` composes with a
+            // SYMCLUST_MEMORY_BUDGET spill budget set in the environment.
+            let mut plan = symclust_sparse::PanelPlan::from_env();
+            plan.panel_rows = Some(rows);
+            plan
+        }),
         journal: args.optional("resume").map(std::path::PathBuf::from),
         metrics: None,
         paranoid: args.get_or("paranoid", false)?,

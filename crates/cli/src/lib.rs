@@ -93,7 +93,7 @@ SUBCOMMANDS:
               [--clusterers mlrmcl,metis,graclus] [--k K] [--inflation I]
               [--target-degree D | --threshold T] [--prune T]
               [--threads N] [--sym-threads N] [--sym-accum adaptive|dense|sparse]
-              [--timeout-secs S] [--retries N]
+              [--sym-panel-rows N] [--timeout-secs S] [--retries N]
               [--memory-budget ENTRIES] [--resume JOURNAL.jsonl]
               [--events FILE] [--records FILE] [--quiet]
               [--metrics] [--metrics-out FILE.json] [--paranoid]

@@ -19,11 +19,11 @@ use symclust_graph::{DiGraph, UnGraph};
 use symclust_obs::MetricsRegistry;
 use symclust_sparse::{
     accum_from_env, ops, spgemm_syrk_sum_budgeted, spgemm_syrk_sum_observed, threads_from_env,
-    AccumStrategy, CancelToken, SpgemmOptions, SyrkTerm,
+    AccumStrategy, CancelToken, PanelPlan, SpgemmOptions, SyrkTerm,
 };
 
 /// Options for [`Bibliometric`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BibliometricOptions {
     /// Apply `A := A + I` before multiplying (paper §3.3). Default true.
     pub add_identity: bool,
@@ -46,6 +46,12 @@ pub struct BibliometricOptions {
     /// produces them. The default honors `SYMCLUST_ACCUM` and falls back
     /// to adaptive.
     pub accum: AccumStrategy,
+    /// Out-of-core panel plan for the SpGEMM kernels. When engaged the
+    /// multiply runs tile by tile and may spill partial products to scratch
+    /// files, bit-identical to the in-memory path. Never part of cache
+    /// keys. The default honors `SYMCLUST_PANEL_ROWS` /
+    /// `SYMCLUST_MEMORY_BUDGET` and falls back to disengaged (in-memory).
+    pub panel: PanelPlan,
 }
 
 impl Default for BibliometricOptions {
@@ -56,12 +62,13 @@ impl Default for BibliometricOptions {
             n_threads: threads_from_env().unwrap_or(1),
             nnz_budget: None,
             accum: accum_from_env().unwrap_or_default(),
+            panel: PanelPlan::from_env(),
         }
     }
 }
 
 /// `U = AAᵀ + AᵀA` (bibliographic coupling + co-citation).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Bibliometric {
     /// Execution options.
     pub options: BibliometricOptions,
@@ -101,6 +108,7 @@ impl Bibliometric {
             drop_diagonal: true,
             n_threads: self.options.n_threads,
             accum: self.options.accum,
+            panel: self.options.panel.clone(),
             ..Default::default()
         };
         let terms = [

@@ -31,7 +31,7 @@ use symclust_graph::{DiGraph, UnGraph};
 use symclust_obs::MetricsRegistry;
 use symclust_sparse::{
     accum_from_env, ops, spgemm_syrk_sum_budgeted, spgemm_syrk_sum_observed, threads_from_env,
-    AccumStrategy, CancelToken, CsrMatrix, SpgemmOptions, SyrkTerm,
+    AccumStrategy, CancelToken, CsrMatrix, PanelPlan, SpgemmOptions, SyrkTerm,
 };
 
 /// How a node's degree discounts its similarity contributions (Table 4 rows).
@@ -76,7 +76,7 @@ impl DiscountExponent {
 }
 
 /// Options for [`DegreeDiscounted`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DegreeDiscountedOptions {
     /// Out-degree discount α (applied to the two endpoint nodes of the
     /// coupling term and the intermediate node of the co-citation term).
@@ -104,6 +104,12 @@ pub struct DegreeDiscountedOptions {
     /// produces them. The default honors `SYMCLUST_ACCUM` and falls back
     /// to adaptive.
     pub accum: AccumStrategy,
+    /// Out-of-core panel plan for the SpGEMM kernels. When engaged the
+    /// multiply runs tile by tile and may spill partial products to scratch
+    /// files, bit-identical to the in-memory path. Never part of cache
+    /// keys. The default honors `SYMCLUST_PANEL_ROWS` /
+    /// `SYMCLUST_MEMORY_BUDGET` and falls back to disengaged (in-memory).
+    pub panel: PanelPlan,
 }
 
 impl Default for DegreeDiscountedOptions {
@@ -116,6 +122,7 @@ impl Default for DegreeDiscountedOptions {
             n_threads: threads_from_env().unwrap_or(1),
             nnz_budget: None,
             accum: accum_from_env().unwrap_or_default(),
+            panel: PanelPlan::from_env(),
         }
     }
 }
@@ -131,7 +138,7 @@ impl Default for DegreeDiscountedOptions {
 /// // ...yet their degree-discounted similarity is positive.
 /// assert!(sym.adjacency().get(4, 5) > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DegreeDiscounted {
     /// Execution options.
     pub options: DegreeDiscountedOptions,
@@ -249,6 +256,7 @@ impl SimilarityFactors {
             threshold,
             n_threads,
             accum_from_env().unwrap_or_default(),
+            PanelPlan::from_env(),
             None,
             None,
             None,
@@ -267,6 +275,7 @@ impl SimilarityFactors {
             threshold,
             n_threads,
             accum_from_env().unwrap_or_default(),
+            PanelPlan::from_env(),
             Some(token),
             None,
             None,
@@ -278,11 +287,13 @@ impl SimilarityFactors {
     /// similarity matrix at `nnz_budget` stored entries, degrading to an
     /// adaptively thresholded multiply when the Gustavson upper bound
     /// exceeds it. Returns the matrix and whether degradation occurred.
+    #[allow(clippy::too_many_arguments)]
     fn full_with(
         &self,
         threshold: f64,
         n_threads: usize,
         accum: AccumStrategy,
+        panel: PanelPlan,
         token: Option<&CancelToken>,
         nnz_budget: Option<usize>,
         metrics: Option<&MetricsRegistry>,
@@ -292,6 +303,7 @@ impl SimilarityFactors {
             drop_diagonal: true,
             n_threads,
             accum,
+            panel,
             ..Default::default()
         };
         let terms = [
@@ -340,6 +352,7 @@ impl DegreeDiscounted {
             self.options.threshold,
             self.options.n_threads,
             self.options.accum,
+            self.options.panel.clone(),
             token,
             self.options.nnz_budget,
             metrics,

@@ -24,6 +24,8 @@
 //! size). Every constructor takes a node-count override for scalability
 //! sweeps.
 
+pub mod stream;
+
 use symclust_graph::generators::{shared_link_dsbm, SharedLinkDsbmConfig};
 use symclust_graph::{DiGraph, GroundTruth};
 

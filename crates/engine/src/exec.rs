@@ -174,6 +174,14 @@ pub struct EngineOptions {
     /// bit-identical output, so — like `spgemm_threads` — this knob is
     /// excluded from cache keys on purpose.
     pub spgemm_accum: Option<symclust_sparse::AccumStrategy>,
+    /// Out-of-core panel plan for the similarity symmetrizations. When
+    /// engaged the SpGEMM runs tile by tile and may spill partial products
+    /// to scratch files, bounding peak memory. `None` keeps the
+    /// symmetrizer defaults, which honor `SYMCLUST_PANEL_ROWS` /
+    /// `SYMCLUST_MEMORY_BUDGET`. The panel path is bit-identical to the
+    /// in-memory one, so — like the other SpGEMM knobs — it is excluded
+    /// from cache keys on purpose.
+    pub spgemm_panel: Option<symclust_sparse::PanelPlan>,
     /// Path of the durable run journal. When set, chains recorded there
     /// are resumed instead of re-executed, and every chain completed by
     /// this run is appended.
@@ -268,6 +276,7 @@ struct ExecCtx<'a> {
     memory_budget: Option<usize>,
     spgemm_threads: Option<usize>,
     spgemm_accum: Option<symclust_sparse::AccumStrategy>,
+    spgemm_panel: Option<symclust_sparse::PanelPlan>,
     metrics: &'a MetricsRegistry,
     paranoid: bool,
 }
@@ -380,6 +389,7 @@ impl Engine {
             memory_budget: self.opts.memory_budget,
             spgemm_threads: self.opts.spgemm_threads,
             spgemm_accum: self.opts.spgemm_accum,
+            spgemm_panel: self.opts.spgemm_panel.clone(),
             metrics: &registry,
             paranoid: self.opts.paranoid,
         };
@@ -870,6 +880,7 @@ fn run_stage_attempt(node: &StageNode, ctx: &ExecCtx<'_>, token: &CancelToken) -
                     budget,
                     ctx.spgemm_threads,
                     ctx.spgemm_accum,
+                    ctx.spgemm_panel.clone(),
                     Some(ctx.metrics),
                 )?;
                 // Structural + exact-symmetry validation at the kernel

@@ -81,7 +81,7 @@ impl SymMethod {
         &self,
         nnz_budget: Option<usize>,
     ) -> Box<dyn Symmetrizer + Send + Sync> {
-        self.build_configured(nnz_budget, None, None)
+        self.build_configured(nnz_budget, None, None, None)
     }
 
     /// Builds the configured symmetrizer under an optional SpGEMM output
@@ -91,12 +91,15 @@ impl SymMethod {
     /// `SYMCLUST_ACCUM`). Neither knob changes the output — the parallel
     /// kernels assemble blocks deterministically and the accumulator
     /// strategies are bit-identical — so both are deliberately *not* part
-    /// of [`cache_params`](Self::cache_params).
+    /// of [`cache_params`](Self::cache_params). The same holds for
+    /// `spgemm_panel`: the out-of-core panel path is bit-identical to the
+    /// in-memory one, so the plan never enters the artifact address.
     pub fn build_configured(
         &self,
         nnz_budget: Option<usize>,
         spgemm_threads: Option<usize>,
         spgemm_accum: Option<symclust_sparse::AccumStrategy>,
+        spgemm_panel: Option<symclust_sparse::PanelPlan>,
     ) -> Box<dyn Symmetrizer + Send + Sync> {
         match *self {
             SymMethod::PlusTranspose => Box::new(PlusTranspose),
@@ -112,6 +115,9 @@ impl SymMethod {
                 }
                 if let Some(a) = spgemm_accum {
                     options.accum = a;
+                }
+                if let Some(p) = spgemm_panel {
+                    options.panel = p;
                 }
                 Box::new(Bibliometric { options })
             }
@@ -132,6 +138,9 @@ impl SymMethod {
                 }
                 if let Some(a) = spgemm_accum {
                     options.accum = a;
+                }
+                if let Some(p) = spgemm_panel {
+                    options.panel = p;
                 }
                 Box::new(DegreeDiscounted { options })
             }
@@ -187,14 +196,16 @@ impl SymMethod {
         nnz_budget: Option<usize>,
         metrics: Option<&symclust_obs::MetricsRegistry>,
     ) -> symclust_core::Result<SymmetrizedGraph> {
-        self.symmetrize_observed_configured(g, token, nnz_budget, None, None, metrics)
+        self.symmetrize_observed_configured(g, token, nnz_budget, None, None, None, metrics)
     }
 
     /// [`symmetrize_observed_with_budget`](Self::symmetrize_observed_with_budget)
-    /// with explicit SpGEMM thread-count and accumulator-strategy
-    /// overrides (the engine threads the pipeline's `--sym-threads` /
-    /// `--sym-accum` knobs through here). Neither affects the output,
-    /// only wall time.
+    /// with explicit SpGEMM thread-count, accumulator-strategy and
+    /// out-of-core panel-plan overrides (the engine threads the pipeline's
+    /// `--sym-threads` / `--sym-accum` / `--sym-panel-rows` knobs through
+    /// here). None of these affect the output, only wall time and peak
+    /// memory.
+    #[allow(clippy::too_many_arguments)]
     pub fn symmetrize_observed_configured(
         &self,
         g: &DiGraph,
@@ -202,9 +213,10 @@ impl SymMethod {
         nnz_budget: Option<usize>,
         spgemm_threads: Option<usize>,
         spgemm_accum: Option<symclust_sparse::AccumStrategy>,
+        spgemm_panel: Option<symclust_sparse::PanelPlan>,
         metrics: Option<&symclust_obs::MetricsRegistry>,
     ) -> symclust_core::Result<SymmetrizedGraph> {
-        self.build_configured(nnz_budget, spgemm_threads, spgemm_accum)
+        self.build_configured(nnz_budget, spgemm_threads, spgemm_accum, spgemm_panel)
             .symmetrize_observed(g, token, metrics)
     }
 

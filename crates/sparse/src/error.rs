@@ -37,6 +37,11 @@ pub enum SparseError {
     /// can handle it like any other stage failure instead of unwinding
     /// through the whole process.
     WorkerPanic(String),
+    /// A spill-file I/O operation failed while the out-of-core panel path
+    /// was writing or reading intermediate partial products. The message
+    /// carries the operation, the path, and the underlying OS error text
+    /// (an owned `String` so the error stays `Clone + PartialEq + Eq`).
+    Io(String),
     /// A matrix that was *already constructed* (and therefore passed the
     /// construction-time checks, or was built through an unchecked fast
     /// path) violates an invariant it is supposed to uphold. Raised by the
@@ -68,6 +73,7 @@ impl fmt::Display for SparseError {
             SparseError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             SparseError::Cancelled => write!(f, "operation cancelled"),
             SparseError::WorkerPanic(msg) => write!(f, "kernel worker panicked: {msg}"),
+            SparseError::Io(msg) => write!(f, "spill I/O error: {msg}"),
             SparseError::Corrupted { check, detail } => {
                 write!(f, "corrupted matrix ({check} invariant): {detail}")
             }
@@ -114,6 +120,11 @@ mod tests {
         assert!(s.contains("corrupted"));
         assert!(s.contains("value"));
         assert!(s.contains("row 3 col 7"));
+
+        let e = SparseError::Io("write /tmp/t0.bin: disk full".into());
+        let s = e.to_string();
+        assert!(s.contains("spill I/O"));
+        assert!(s.contains("disk full"));
     }
 
     #[test]

@@ -39,8 +39,10 @@ pub mod error;
 pub mod lanczos;
 pub mod ops;
 pub mod pagerank;
+pub mod panel;
 mod sched;
 pub mod spgemm;
+mod spill;
 pub mod syrk;
 
 pub use accum::{accum_from_env, AccumStrategy, DEFAULT_ACCUM_CROSSOVER};
@@ -55,6 +57,7 @@ pub use lanczos::{
 pub use pagerank::{
     pagerank, pagerank_cancellable, stationary_distribution, PageRankOptions, PageRankResult,
 };
+pub use panel::{PanelPlan, DEFAULT_PANEL_ROWS};
 pub use spgemm::{
     spgemm, spgemm_budgeted, spgemm_cancellable, spgemm_nnz_upper_bound, spgemm_observed,
     spgemm_parallel, spgemm_thresholded, threads_from_env, BudgetedSpgemm, SpgemmOptions,

@@ -27,6 +27,7 @@ use crate::accum::{
 use crate::cancel::CancelToken;
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
+use crate::panel::PanelPlan;
 use crate::sched::{BlockQueues, DEFAULT_BLOCK_ROWS};
 use crate::Result;
 use symclust_obs::MetricsRegistry;
@@ -79,6 +80,19 @@ pub mod metric_names {
     /// Output rows accumulated with sorted sparse pair lists (estimated
     /// intermediate width below the crossover).
     pub const ROWS_SPARSE: &str = "spgemm.rows_sparse";
+    /// Panel-pair tiles executed by the out-of-core panel path (0 when the
+    /// in-memory path ran). A function of the matrix shape and the
+    /// configured panel size only, so deterministic and bench-gated.
+    pub const PANELS: &str = "spgemm.panels";
+    /// Tiles whose partial products were spilled to scratch files under
+    /// the panel byte budget. The spill plan is decided from a
+    /// structure-only estimate *before* execution (see [`crate::panel`]),
+    /// so the count never depends on scheduling or thread count.
+    pub const PANEL_SPILLS: &str = "spgemm.panel_spills";
+    /// Bytes written to spill files: 12 bytes (`u32` column + `f64` value)
+    /// per spilled intermediate entry. Deterministic for a fixed input,
+    /// panel size and budget.
+    pub const SPILL_BYTES: &str = "spgemm.spill_bytes";
 }
 
 /// Parses the `SYMCLUST_THREADS` environment variable: the default SpGEMM
@@ -99,16 +113,22 @@ pub(crate) struct SpgemmCounts {
     pub(crate) emitted: u64,
     pub(crate) rows_dense: u64,
     pub(crate) rows_sparse: u64,
+    pub(crate) panels: u64,
+    pub(crate) panel_spills: u64,
+    pub(crate) spill_bytes: u64,
 }
 
 impl SpgemmCounts {
-    fn merge(&mut self, other: &SpgemmCounts) {
+    pub(crate) fn merge(&mut self, other: &SpgemmCounts) {
         self.rows += other.rows;
         self.flops += other.flops;
         self.touched += other.touched;
         self.emitted += other.emitted;
         self.rows_dense += other.rows_dense;
         self.rows_sparse += other.rows_sparse;
+        self.panels += other.panels;
+        self.panel_spills += other.panel_spills;
+        self.spill_bytes += other.spill_bytes;
     }
 
     pub(crate) fn flush(&self, metrics: Option<&MetricsRegistry>) {
@@ -122,11 +142,14 @@ impl SpgemmCounts {
             .add(self.touched - self.emitted);
         m.counter(metric_names::ROWS_DENSE).add(self.rows_dense);
         m.counter(metric_names::ROWS_SPARSE).add(self.rows_sparse);
+        m.counter(metric_names::PANELS).add(self.panels);
+        m.counter(metric_names::PANEL_SPILLS).add(self.panel_spills);
+        m.counter(metric_names::SPILL_BYTES).add(self.spill_bytes);
     }
 }
 
 /// Options controlling SpGEMM execution.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SpgemmOptions {
     /// Entries with value strictly below this threshold are discarded from
     /// the output (applied to the final accumulated value of each entry).
@@ -147,6 +170,14 @@ pub struct SpgemmOptions {
     /// above it accumulate densely, rows below it sparsely. `None` uses
     /// [`DEFAULT_ACCUM_CROSSOVER`].
     pub accum_crossover: Option<usize>,
+    /// Out-of-core panel plan (see [`crate::panel`]). Disengaged by
+    /// default; when engaged the multiply runs tile by tile with optional
+    /// spill-to-disk, producing bit-identical output and identical
+    /// deterministic work counters. Like the thread and accumulator knobs
+    /// this never reaches cache keys; the default honors the
+    /// `SYMCLUST_PANEL_ROWS` / `SYMCLUST_MEMORY_BUDGET` environment
+    /// variables.
+    pub panel: PanelPlan,
 }
 
 impl Default for SpgemmOptions {
@@ -157,6 +188,7 @@ impl Default for SpgemmOptions {
             drop_diagonal: false,
             accum: accum_from_env().unwrap_or_default(),
             accum_crossover: None,
+            panel: PanelPlan::from_env(),
         }
     }
 }
@@ -301,7 +333,7 @@ impl RowKernelOutput {
     }
 }
 
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -576,6 +608,9 @@ fn spgemm_serial_with_token(
     metrics: Option<&MetricsRegistry>,
 ) -> Result<CsrMatrix> {
     check_dims(a, b)?;
+    if opts.panel.engaged() {
+        return crate::panel::spgemm_panel(a, b, opts, token, metrics, 1, false);
+    }
     let n_rows = a.n_rows();
     let n_cols = b.n_cols();
     let out = run_rows_serial(
@@ -612,6 +647,9 @@ fn spgemm_parallel_with_token(
     metrics: Option<&MetricsRegistry>,
 ) -> Result<CsrMatrix> {
     check_dims(a, b)?;
+    if opts.panel.engaged() {
+        return crate::panel::spgemm_panel(a, b, opts, token, metrics, opts.n_threads, true);
+    }
     let n_rows = a.n_rows();
     let n_cols = b.n_cols();
     let out = run_rows(
@@ -721,7 +759,7 @@ pub fn spgemm_budgeted(
     indptr.push(0usize);
     let mut indices: Vec<u32> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
-    let mut live_opts = *opts;
+    let mut live_opts = opts.clone();
     let mut counts = SpgemmCounts::default();
     for row in 0..n_rows {
         if let Some(t) = token {

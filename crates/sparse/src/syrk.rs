@@ -97,15 +97,15 @@ fn check_terms(terms: &[SyrkTerm<'_>]) -> Result<usize> {
 /// Per-worker scratch: one epoch-stamped dense accumulator per term, a
 /// shared duplicate-free touched-column list, and the triple buffer used
 /// by sparse rows.
-struct SyrkScratch {
-    accs: Vec<DenseAccum>,
-    seen: TouchStamp,
-    touched: Vec<u32>,
-    pairs: Vec<(u32, u32, f64)>,
+pub(crate) struct SyrkScratch {
+    pub(crate) accs: Vec<DenseAccum>,
+    pub(crate) seen: TouchStamp,
+    pub(crate) touched: Vec<u32>,
+    pub(crate) pairs: Vec<(u32, u32, f64)>,
 }
 
 impl SyrkScratch {
-    fn new(n: usize, n_terms: usize) -> Self {
+    pub(crate) fn new(n: usize, n_terms: usize) -> Self {
         SyrkScratch {
             accs: (0..n_terms).map(|_| DenseAccum::new(n)).collect(),
             seen: TouchStamp::new(n),
@@ -211,7 +211,7 @@ fn syrk_row(
 /// Mirrors an upper-triangular CSR (every stored column `j ≥` its row)
 /// into the full symmetric matrix in one O(nnz) pass. Returns the full
 /// CSR triple plus the number of lower-triangle entries materialized.
-fn mirror_upper(
+pub(crate) fn mirror_upper(
     n: usize,
     upper_indptr: &[usize],
     upper_indices: &[u32],
@@ -262,7 +262,7 @@ fn mirror_upper(
     (indptr, indices, values, mirrored)
 }
 
-fn flush_syrk(out: &RowKernelOutput, mirrored: u64, metrics: Option<&MetricsRegistry>) {
+pub(crate) fn flush_syrk(out: &RowKernelOutput, mirrored: u64, metrics: Option<&MetricsRegistry>) {
     out.counts.flush(metrics);
     out.flush_steals(metrics);
     if let Some(m) = metrics {
@@ -299,6 +299,9 @@ pub fn spgemm_syrk_sum_observed(
     metrics: Option<&MetricsRegistry>,
 ) -> Result<CsrMatrix> {
     let n = check_terms(terms)?;
+    if opts.panel.engaged() {
+        return crate::panel::spgemm_syrk_sum_panel(terms, n, opts, token, metrics);
+    }
     let out = run_rows(
         n,
         opts.n_threads,
@@ -358,7 +361,7 @@ pub fn spgemm_syrk_sum_budgeted(
     indptr.push(0usize);
     let mut indices: Vec<u32> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
-    let mut live_opts = *opts;
+    let mut live_opts = opts.clone();
     let mut counts = SpgemmCounts::default();
     for row in 0..n {
         if let Some(t) = token {

@@ -45,6 +45,18 @@ cargo build --release -q -p symclust-cli -p symclust-bench
 # path for at least one row, and be strictly faster on the bundled graph.
 ./target/release/bench_gate accum-check examples/data/dsbm_small.txt
 
+# Out-of-core panel lock: a forced tiny-panel, 1-byte-budget run must
+# execute multiple tiles, spill at least once, and stay byte-identical to
+# the in-memory product (serial and parallel), while the default in-memory
+# run reports zero panel activity.
+./target/release/bench_gate panel-check examples/data/dsbm_small.txt
+
+# Out-of-core end-to-end lock: stream a DSBM graph to disk, then run the
+# full symmetrize→cluster pipeline with a spill budget at most a quarter
+# of the file size — it must spill, finish, and recover the planted
+# clusters.
+./target/release/bench_gate oom-check
+
 # Perf trajectory: append {commit, wall_ms, flops, rows_dense, rows_sparse}
 # to the checked-in history so CI accumulates a wall-time record run over
 # run (set BENCH_GATE_NO_TRAJECTORY=1 to skip, e.g. for local experiments).

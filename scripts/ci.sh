@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check build test fault debug-assertions threads-matrix serve chaos bench)
+ALL_STAGES=(fmt clippy check build test fault debug-assertions threads-matrix oom-matrix serve chaos bench)
 
 stage_fmt() { cargo fmt --all -- --check; }
 stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
@@ -118,6 +118,20 @@ stage_threads_matrix() {
     for n in 1 4; do
       echo "--- SYMCLUST_ACCUM=$accum SYMCLUST_THREADS=$n"
       SYMCLUST_ACCUM="$accum" SYMCLUST_THREADS="$n" \
+        cargo test -q -p symclust-sparse -p symclust-core
+    done
+  done
+}
+# Out-of-core determinism matrix: the same kernel/symmetrizer suites must
+# pass with the panel path engaged through the environment — small panels,
+# with and without a starvation-level spill byte budget — because the
+# out-of-core path is spec'd bit-identical to the in-memory one for any
+# panel size and any budget (DESIGN.md §17).
+stage_oom_matrix() {
+  for budget in "" 1; do
+    for rows in 7 64; do
+      echo "--- SYMCLUST_PANEL_ROWS=$rows SYMCLUST_MEMORY_BUDGET=${budget:-unset}"
+      SYMCLUST_PANEL_ROWS="$rows" SYMCLUST_MEMORY_BUDGET="$budget" \
         cargo test -q -p symclust-sparse -p symclust-core
     done
   done
