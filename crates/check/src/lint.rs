@@ -32,13 +32,28 @@
 //!    schedules (DESIGN.md §15) actually cover it. A raw call is an
 //!    unfaultable blind spot. Allowlisted: `faultfs.rs` itself, the
 //!    single mediation point.
+//! 6. **sparse-spillfs** — the same contract for `crates/sparse`: all
+//!    scratch-file I/O goes through `spill.rs`.
+//! 7. **error-code-taxonomy** — the closed protocol error-code set in
+//!    `crates/cli/src/protocol.rs` must match the DESIGN.md §14 error
+//!    table in both directions, mirroring the metric-taxonomy rule.
+//! 8. **atomic-ordering** — every `Ordering::Relaxed` in non-test
+//!    library code must carry a reason-carrying [`ALLOW_RELAXED`] entry
+//!    naming the atomic and why relaxed ordering is sound there
+//!    (DESIGN.md §18). An unexplained Relaxed on an atomic used for
+//!    cross-thread handoff is exactly where lost-wakeup and stale-flag
+//!    races hide; the audit makes each one a deliberate, documented
+//!    decision.
 //!
-//! The scanner is deliberately line-based over comment/string-stripped
-//! source (no syntax tree, zero dependencies): the rules only need
-//! signatures, brace depth, and string literals, and a 300-line scanner
-//! that CI builds in two seconds beats a proc-macro stack. Every
-//! allowlist entry is checked for staleness — an entry that matches
-//! nothing is itself a lint error, so the lists cannot rot.
+//! The scanner is line-based over comment/string-stripped source (no
+//! syntax tree, zero dependencies): the rules only need signatures,
+//! brace depth, and string literals, and a small scanner that CI builds
+//! in two seconds beats a proc-macro stack. The stripping itself is done
+//! by the token-stream lexer in [`crate::lexer`], so comments, raw
+//! strings, char literals, and lifetimes are classified once, correctly,
+//! for every rule. Every allowlist entry is checked for staleness — an
+//! entry that matches nothing is itself a lint error, so the lists
+//! cannot rot.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -93,6 +108,14 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "sparse-spillfs",
         "every filesystem call in crates/sparse goes through the spill module",
+    ),
+    (
+        "error-code-taxonomy",
+        "protocol error codes match the DESIGN.md §14 table, both directions",
+    ),
+    (
+        "atomic-ordering",
+        "every Ordering::Relaxed in library code carries a reason-carrying allowlist entry",
     ),
 ];
 
@@ -404,6 +427,132 @@ const METRIC_PREFIXES: &[&str] = &[
     "spgemm.", "prune.", "sym.", "mcl.", "engine.", "store.", "serve.",
 ];
 
+/// The `Ordering::Relaxed` audit: `(path suffix, needle, reason)`.
+///
+/// Every `Ordering::Relaxed` in non-test library code must be covered by
+/// an entry whose needle appears in a small window of code ending at the
+/// occurrence (the window absorbs multi-line `compare_exchange` calls
+/// whose ordering arguments sit on their own lines). The reason must say
+/// why relaxed ordering is sound — which is always some variant of "this
+/// atomic publishes no cross-thread data; only its own value matters".
+/// Anything that *does* publish data (flags gating reads of other memory,
+/// queue handoffs) must use Acquire/Release and never lands here. Entries
+/// that match nothing fail the lint, so the audit cannot rot.
+const ALLOW_RELAXED: &[(&str, &str, &str)] = &[
+    (
+        "obs/src/metric.rs",
+        "self.value",
+        "counter cell: monotonic word read only for reporting, publishes nothing",
+    ),
+    (
+        "obs/src/metric.rs",
+        "self.bits",
+        "gauge cell: single f64-bits word, last-writer-wins by design, publishes nothing",
+    ),
+    (
+        "obs/src/metric.rs",
+        "compare_exchange_weak",
+        "max/sum CAS retry loop on one independent cell; failure path only re-reads the same word",
+    ),
+    (
+        "obs/src/metric.rs",
+        "buckets",
+        "histogram bucket counters: independent monotonic words, snapshot tolerance is documented",
+    ),
+    (
+        "obs/src/metric.rs",
+        "self.count",
+        "histogram count: monotonic word, snapshots may tear vs sum by design",
+    ),
+    (
+        "obs/src/metric.rs",
+        "sum_bits",
+        "histogram sum: f64-bits word updated via its own CAS loop, publishes nothing",
+    ),
+    (
+        "engine/src/cache.rs",
+        "hits",
+        "cache-hit statistic: monotonic counter read only for reporting",
+    ),
+    (
+        "engine/src/cache.rs",
+        "misses",
+        "cache-miss statistic: monotonic counter read only for reporting",
+    ),
+    (
+        "engine/src/cache.rs",
+        "dedups",
+        "dedup statistic: monotonic counter read only for reporting",
+    ),
+    (
+        "cli/src/server.rs",
+        "queue_depth",
+        "advisory depth gauge for health/overload reporting; admission correctness rides on the channel, not this counter",
+    ),
+    (
+        "sparse/src/spill.rs",
+        "SPILL_DIR_SEQ",
+        "process-unique scratch-dir suffix: atomicity gives uniqueness, ordering is irrelevant",
+    ),
+    (
+        "sparse/src/cancel.rs",
+        "polls",
+        "deadline-poll throttle counter; cancellation itself is published with Release and observed with Acquire",
+    ),
+    (
+        "store/src/disk.rs",
+        "next_seq",
+        "LRU recency sequence: atomicity gives unique ticks, ordering is irrelevant",
+    ),
+    (
+        "store/src/disk.rs",
+        "degraded",
+        "sticky degraded-mode flag and its probe counter carry no payload; observers need only eventual visibility",
+    ),
+    (
+        "store/src/disk.rs",
+        "hits",
+        "store-hit statistic: monotonic counter read only for stats reporting",
+    ),
+    (
+        "store/src/disk.rs",
+        "misses",
+        "store-miss statistic: monotonic counter read only for stats reporting",
+    ),
+    (
+        "store/src/disk.rs",
+        "puts",
+        "store-put statistic: monotonic counter read only for stats reporting",
+    ),
+    (
+        "store/src/disk.rs",
+        "evictions",
+        "eviction statistic: monotonic counter read only for stats reporting",
+    ),
+    (
+        "store/src/disk.rs",
+        "quarantined",
+        "quarantine statistic: monotonic counter read only for stats reporting",
+    ),
+    (
+        "store/src/disk.rs",
+        "put_errors",
+        "put-error statistic: monotonic counter read only for stats reporting",
+    ),
+    (
+        "store/src/disk.rs",
+        "stats_persist_errors",
+        "stats-persist-error statistic: monotonic counter read only for stats reporting",
+    ),
+];
+
+/// How many code lines (ending at the occurrence) an [`ALLOW_RELAXED`]
+/// needle may appear in. Absorbs multi-line atomic calls whose
+/// `Ordering::Relaxed` arguments sit on their own lines (the widest in
+/// tree: `compare_exchange_weak` with one argument per line, where the
+/// failure ordering is four lines below the receiver).
+const RELAXED_WINDOW: usize = 5;
+
 /// Runs every rule over the workspace rooted at `root`. Returns the sorted
 /// violation list (empty = clean).
 pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
@@ -415,6 +564,8 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
     violations.extend(rule_cache_key_purity(&sources));
     violations.extend(rule_store_faultfs(&sources));
     violations.extend(rule_sparse_spillfs(&sources));
+    violations.extend(rule_error_code_taxonomy(root)?);
+    violations.extend(rule_atomic_ordering(&sources));
     violations
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(violations)
@@ -536,147 +687,17 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
 }
 
 /// Replaces the contents of comments and string/char literals with spaces,
-/// preserving newlines and byte offsets, so later passes can match tokens
-/// without tripping over prose. Handles `//`, `/* */` (nested), `"…"`,
-/// `r"…"`/`r#"…"#`, and char literals well enough for this workspace; the
-/// goal is sound token scanning, not a full lexer.
+/// preserving newlines, delimiters, and byte-for-byte line layout, so later
+/// passes can match tokens without tripping over prose. Backed by the
+/// token-stream lexer in [`crate::lexer`].
 pub fn strip_comments_and_strings(text: &str) -> String {
-    let bytes = text.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        match b {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                let mut depth = 0usize;
-                while i < bytes.len() {
-                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                        depth += 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                out.push(b'"');
-                i += 1;
-                while i < bytes.len() {
-                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
-                        // Preserve newlines in string line-continuations so
-                        // line numbers stay aligned with the raw source.
-                        out.push(b' ');
-                        out.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
-                        i += 2;
-                    } else if bytes[i] == b'"' {
-                        out.push(b'"');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'r' if i + 1 < bytes.len() && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#') => {
-                // Raw string r"…" / r#"…"#.
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < bytes.len() && bytes[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < bytes.len() && bytes[j] == b'"' {
-                    out.push(b'r');
-                    out.extend(std::iter::repeat_n(b'#', hashes));
-                    out.push(b'"');
-                    i = j + 1;
-                    let closer: Vec<u8> = std::iter::once(b'"')
-                        .chain(std::iter::repeat_n(b'#', hashes))
-                        .collect();
-                    while i < bytes.len() {
-                        if bytes[i..].starts_with(&closer) {
-                            out.extend_from_slice(&closer);
-                            i += closer.len();
-                            break;
-                        }
-                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                } else {
-                    out.push(b'r');
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal or lifetime; a lifetime has no closing quote
-                // nearby, a char literal does. Copy lifetimes verbatim.
-                let close = bytes[i + 1..]
-                    .iter()
-                    .take(4)
-                    .position(|&c| c == b'\'')
-                    .map(|p| i + 1 + p);
-                match close {
-                    Some(end) if bytes.get(i + 1) != Some(&b'\'') => {
-                        out.push(b'\'');
-                        out.extend(std::iter::repeat_n(b' ', end - (i + 1)));
-                        out.push(b'\'');
-                        i = end + 1;
-                    }
-                    _ => {
-                        out.push(b'\'');
-                        i += 1;
-                    }
-                }
-            }
-            _ => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
+    crate::lexer::strip(text)
 }
 
 /// Extracts the string literals of `text` (non-raw, single-line), in order,
-/// as `(line_no_1based, literal)`.
+/// as `(line_no_1based, literal)`. Backed by [`crate::lexer`].
 pub fn string_literals(text: &str) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    for (idx, line) in text.lines().enumerate() {
-        let bytes = line.as_bytes();
-        let mut i = 0;
-        while i < bytes.len() {
-            if bytes[i] == b'"' {
-                let mut lit = String::new();
-                i += 1;
-                while i < bytes.len() && bytes[i] != b'"' {
-                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
-                        i += 1; // keep escaped char verbatim (good enough)
-                    }
-                    lit.push(bytes[i] as char);
-                    i += 1;
-                }
-                out.push((idx + 1, lit));
-            }
-            i += 1;
-        }
-    }
-    out
+    crate::lexer::string_literals(text)
 }
 
 // ---------------------------------------------------------------- rule 1
@@ -1159,6 +1180,170 @@ fn rule_sparse_spillfs(sources: &[SourceFile]) -> Vec<Violation> {
                 file: "crates/check/src/lint.rs".into(),
                 line: 0,
                 message: format!("stale allowlist entry ({path}, {needle:?}) matches nothing"),
+            });
+        }
+    }
+    violations
+}
+
+// ---------------------------------------------------------------- rule 7
+
+/// `ErrorCode::X => "literal"` arms from the non-test portion of
+/// `crates/cli/src/protocol.rs`, as `(line_no_1based, code)`.
+fn protocol_error_codes(root: &Path) -> Result<Vec<(usize, String)>, String> {
+    let path = root.join("crates/cli/src/protocol.rs");
+    let text = fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut codes = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        if !(line.contains("ErrorCode::") && line.contains("=>")) {
+            continue;
+        }
+        for (_, lit) in string_literals(line) {
+            if looks_like_error_code(&lit) {
+                codes.push((idx + 1, lit));
+            }
+        }
+    }
+    Ok(codes)
+}
+
+fn looks_like_error_code(s: &str) -> bool {
+    !s.is_empty()
+        && s.as_bytes()[0].is_ascii_lowercase()
+        && s.bytes().all(|b| b.is_ascii_lowercase() || b == b'-')
+}
+
+/// Error codes documented in the DESIGN.md §14 `### Error codes` table, as
+/// `(line_no_1based, code)` from each row's first backticked token.
+fn design_error_codes(root: &Path) -> Result<Vec<(usize, String)>, String> {
+    let design = root.join("DESIGN.md");
+    let text =
+        fs::read_to_string(&design).map_err(|e| format!("reading {}: {e}", design.display()))?;
+    let mut codes = Vec::new();
+    let mut in_table = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim() == "### Error codes" {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        if line.starts_with('#') {
+            break;
+        }
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        if let Some(tok) = line.split('`').nth(1) {
+            if looks_like_error_code(tok) {
+                codes.push((idx + 1, tok.to_string()));
+            }
+        }
+    }
+    if !in_table {
+        return Err("DESIGN.md has no `### Error codes` heading (§14) — extraction broken?".into());
+    }
+    Ok(codes)
+}
+
+/// The closed protocol error-code set must match the DESIGN.md §14 table in
+/// both directions, exactly like the metric taxonomy: a code added to
+/// `protocol.rs` without documentation fails, and a documented code with no
+/// implementation fails (rot in either direction is a wire-compat hazard —
+/// clients dispatch on these strings).
+fn rule_error_code_taxonomy(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    let protocol = protocol_error_codes(root)?;
+    let design = design_error_codes(root)?;
+    if protocol.is_empty() {
+        return Err("protocol.rs yielded no error codes — extraction broken?".into());
+    }
+    if design.is_empty() {
+        return Err("DESIGN.md §14 error-code table is empty — extraction broken?".into());
+    }
+    let design_set: BTreeSet<&str> = design.iter().map(|(_, c)| c.as_str()).collect();
+    let protocol_set: BTreeSet<&str> = protocol.iter().map(|(_, c)| c.as_str()).collect();
+    for (line, code) in &protocol {
+        if !design_set.contains(code.as_str()) {
+            violations.push(Violation {
+                rule: "error-code-taxonomy",
+                file: "crates/cli/src/protocol.rs".into(),
+                line: *line,
+                message: format!(
+                    "error code \"{code}\" is not in the DESIGN.md §14 error-code table \
+                     (typo, or document it first)"
+                ),
+            });
+        }
+    }
+    for (line, code) in &design {
+        if !protocol_set.contains(code.as_str()) {
+            violations.push(Violation {
+                rule: "error-code-taxonomy",
+                file: "DESIGN.md".into(),
+                line: *line,
+                message: format!(
+                    "documented error code \"{code}\" has no ErrorCode arm in protocol.rs \
+                     — phantom taxonomy entry"
+                ),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+// ---------------------------------------------------------------- rule 8
+
+/// Every `Ordering::Relaxed` in non-test library code must be covered by a
+/// reason-carrying [`ALLOW_RELAXED`] entry (DESIGN.md §18). Relaxed is the
+/// one ordering that silently breaks cross-thread handoff: a flag stored
+/// Relaxed can be observed before the data it guards. The audit forces each
+/// site to state why no data rides on the atomic; stale entries fail.
+fn rule_atomic_ordering(sources: &[SourceFile]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut allow_hits = vec![false; ALLOW_RELAXED.len()];
+    for file in sources {
+        for (lineno, code, _raw) in file.lib_lines() {
+            if !code.contains("Ordering::Relaxed") {
+                continue;
+            }
+            // Window of code lines ending at the occurrence, so the needle
+            // can name the atomic even when the ordering argument of a
+            // multi-line call sits on its own line.
+            let lo = lineno.saturating_sub(RELAXED_WINDOW);
+            let window = file.code_lines[lo..lineno].join("\n");
+            let mut covered = false;
+            for (pos, (path, needle, _)) in ALLOW_RELAXED.iter().enumerate() {
+                if file.rel_path.ends_with(path) && window.contains(needle) {
+                    allow_hits[pos] = true;
+                    covered = true;
+                }
+            }
+            if !covered {
+                violations.push(Violation {
+                    rule: "atomic-ordering",
+                    file: file.rel_path.clone(),
+                    line: lineno,
+                    message: "`Ordering::Relaxed` without an ordering-audit entry; if no \
+                              cross-thread data rides on this atomic, add a (path, needle, \
+                              reason) entry to ALLOW_RELAXED in crates/check/src/lint.rs — \
+                              otherwise use Acquire/Release"
+                        .into(),
+                });
+            }
+        }
+    }
+    for (hit, (path, needle, _)) in allow_hits.iter().zip(ALLOW_RELAXED) {
+        if !hit {
+            violations.push(Violation {
+                rule: "atomic-ordering",
+                file: "crates/check/src/lint.rs".into(),
+                line: 0,
+                message: format!("stale ALLOW_RELAXED entry ({path}, {needle:?}) matches nothing"),
             });
         }
     }

@@ -1,10 +1,10 @@
-//! `symclust-check` — repo-invariant lint driver and scheduler model
-//! checker. See DESIGN.md §13.
+//! `symclust-check` — repo-invariant lint driver and the scheduler /
+//! serve-lifecycle model checkers. See DESIGN.md §13 and §18.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use symclust_check::{lint, schedmodel};
+use symclust_check::{lint, schedmodel, servemodel};
 
 const USAGE: &str = "\
 symclust-check — correctness tooling for the symclust workspace
@@ -21,6 +21,14 @@ USAGE:
         instead, to demonstrate the checker catches races (expected to
         report a violation and exit non-zero).
 
+    symclust-check serve-model [--faulty relaxed-shutdown|overloaded-requeue]
+        Exhaustively model-check the serve daemon's request lifecycle
+        (admission vs shutdown races, worker drain, drain-deadline
+        watchdog, health, client-disconnect cancellation) across the
+        built-in scenarios. --faulty checks a deliberately broken
+        protocol variant instead and prints the concrete witness trace
+        (a lost request or a double completion; exits non-zero).
+
     symclust-check list-rules
         Print the lint rules and one-line summaries.
 ";
@@ -30,6 +38,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&args[1..]),
         Some("sched-model") => cmd_sched_model(&args[1..]),
+        Some("serve-model") => cmd_serve_model(&args[1..]),
         Some("list-rules") => {
             for (rule, summary) in lint::RULES {
                 println!("{rule}\n    {summary}");
@@ -101,6 +110,69 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             eprintln!("symclust-check lint: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn cmd_serve_model(args: &[String]) -> ExitCode {
+    match flag_value(args, "--faulty") {
+        Err(e) => {
+            eprintln!("{e} (relaxed-shutdown or overloaded-requeue)");
+            ExitCode::FAILURE
+        }
+        Ok(Some(variant)) => {
+            let protocol = match variant.as_str() {
+                "relaxed-shutdown" => servemodel::Protocol::RelaxedShutdown,
+                "overloaded-requeue" => servemodel::Protocol::OverloadedRequeue,
+                other => {
+                    eprintln!(
+                        "--faulty expects relaxed-shutdown or overloaded-requeue, got {other:?}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = servemodel::faulty_config(protocol);
+            match servemodel::check_config(&cfg) {
+                Ok(report) => {
+                    eprintln!(
+                        "faulty protocol `{variant}` unexpectedly verified clean ({} states) — \
+                         the checker should have caught the bug",
+                        report.states
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(violation) => {
+                    println!("faulty protocol `{variant}`: bug found, as expected\n\n{violation}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Ok(None) => match servemodel::sweep() {
+            Ok(reports) => {
+                println!("serve-lifecycle model check (shipped protocol)");
+                println!(
+                    "{:>30} {:>9} {:>12} {:>16}",
+                    "scenario", "states", "steps", "schedules"
+                );
+                let mut total_states = 0usize;
+                for (name, r) in &reports {
+                    total_states += r.states;
+                    println!(
+                        "{name:>30} {:>9} {:>12} {:>16}",
+                        r.states, r.transitions, r.schedules
+                    );
+                }
+                println!(
+                    "\nall {} scenarios exactly-once, drain-terminating, and \
+                     health-answerable ({total_states} states explored)",
+                    reports.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(violation) => {
+                eprintln!("{violation}");
+                ExitCode::FAILURE
+            }
+        },
     }
 }
 

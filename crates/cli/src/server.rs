@@ -39,7 +39,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -184,6 +184,49 @@ impl ConnTokens {
     }
 }
 
+/// Counts live workers so the drain watchdog can wake the moment the
+/// pool finishes instead of sleeping the full `drain_ms`: the last
+/// worker to exit notifies the condvar, and a completed drain leaves no
+/// sleeping thread behind.
+struct DrainLatch {
+    workers_left: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl DrainLatch {
+    fn new(workers: usize) -> Self {
+        DrainLatch {
+            workers_left: Mutex::new(workers),
+            drained: Condvar::new(),
+        }
+    }
+
+    fn worker_exited(&self) {
+        let mut left = self
+            .workers_left
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *left = left.saturating_sub(1);
+        if *left == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Blocks until every worker has exited or `ms` elapses; returns
+    /// `true` when the drain completed before the deadline.
+    fn wait_drained(&self, ms: u64) -> bool {
+        let left = self
+            .workers_left
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let (left, _timeout) = self
+            .drained
+            .wait_timeout_while(left, Duration::from_millis(ms), |left| *left > 0)
+            .unwrap_or_else(PoisonError::into_inner);
+        *left == 0
+    }
+}
+
 type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
 /// One admitted request, owned by a worker once dequeued.
@@ -225,6 +268,10 @@ struct ServerState {
     /// Every in-flight request's token, across all connections — what
     /// the drain watchdog cancels when the deadline passes.
     active: ConnTokens,
+    /// Wakes the drain watchdog as soon as the worker pool exits.
+    drain: DrainLatch,
+    /// The drain watchdog's handle, so [`Server::join`] can reap it.
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ServerState {
@@ -255,16 +302,23 @@ impl ServerState {
 /// watchdog (which cancels every still-active token once `drain_ms`
 /// passes), and wakes the accept loop with a throwaway connection so it
 /// observes the flag. Idempotent — the `shutdown` op, SIGTERM/SIGINT,
-/// and [`Server::shutdown`] all funnel here.
+/// and [`Server::shutdown`] all funnel here. The watchdog parks on the
+/// [`DrainLatch`] condvar rather than sleeping the full `drain_ms`, so
+/// a drain that finishes early wakes it immediately and no cancel fires.
 fn begin_shutdown(state: &Arc<ServerState>) {
     if state.shutdown.swap(true, Ordering::AcqRel) {
         return;
     }
     let watchdog = Arc::clone(state);
-    std::thread::spawn(move || {
-        std::thread::sleep(Duration::from_millis(watchdog.drain_ms));
-        watchdog.active.cancel_all();
+    let handle = std::thread::spawn(move || {
+        if !watchdog.drain.wait_drained(watchdog.drain_ms) {
+            watchdog.active.cancel_all();
+        }
     });
+    *state
+        .watchdog
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = Some(handle);
     match &state.endpoint {
         Endpoint::Unix(p) => drop(UnixStream::connect(p)),
         Endpoint::Tcp(a) => drop(TcpStream::connect(a)),
@@ -347,6 +401,8 @@ impl Server {
             drain_ms: opts.drain_ms,
             read_timeout_ms: opts.read_timeout_ms,
             active: ConnTokens::new(),
+            drain: DrainLatch::new(opts.workers.max(1)),
+            watchdog: Mutex::new(None),
         });
 
         let (tx, rx) = sync_channel::<Job>(opts.queue_cap.max(1));
@@ -414,6 +470,17 @@ impl Server {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // The latch has been notified by now, so this returns promptly
+        // even when `drain_ms` is large.
+        let watchdog = self
+            .state
+            .watchdog
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = watchdog {
+            let _ = handle.join();
         }
         self.state.store.flush_stats();
     }
@@ -634,6 +701,7 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>) {
             begin_shutdown(state);
         }
     }
+    state.drain.worker_exited();
 }
 
 /// Renders the `health` response from live daemon state. Deliberately

@@ -107,6 +107,49 @@ fn sigterm_drains_persists_stats_and_unlinks_the_socket() {
 }
 
 #[test]
+fn completed_drain_wakes_the_watchdog_before_its_deadline() {
+    // Regression: the drain watchdog used to sleep the full `drain_ms`
+    // even when the worker pool had already drained. Now `Server::join`
+    // reaps the watchdog, which parks on a condvar the last worker
+    // notifies — so with a 10-minute drain deadline the daemon must
+    // still exit within seconds of an uncontended shutdown.
+    let dir = temp_dir("watchdog");
+    let socket = dir.join("sock");
+    let store = dir.join("store");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_symclust"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--drain-ms",
+            "600000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn symclust serve");
+
+    let mut conn = wait_for_socket(&mut child, &socket);
+    conn.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(conn.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(reply.contains(r#""ok":true"#), "{reply}");
+
+    // wait_for_exit's 10s ceiling *is* the assertion: far below the
+    // 600s drain deadline the old sleeping watchdog would have held.
+    let status = wait_for_exit(&mut child);
+    assert!(status.success(), "daemon exited non-zero: {status}");
+    assert!(!socket.exists(), "socket file must be unlinked");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn sigint_is_an_equivalent_drain_trigger() {
     let dir = temp_dir("sigint");
     let socket = dir.join("sock");

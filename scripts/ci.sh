@@ -10,16 +10,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt clippy check build test fault debug-assertions threads-matrix oom-matrix serve chaos bench)
+ALL_STAGES=(fmt clippy check build test fault debug-assertions threads-matrix oom-matrix serve chaos bench sanitize miri)
 
 stage_fmt() { cargo fmt --all -- --check; }
 stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
-# Repo-invariant lint rules + exhaustive scheduler model check
-# (DESIGN.md §13). Runs first among the heavy stages: it needs only the
-# dependency-free symclust-check crate, so contract violations fail fast.
+# Repo-invariant lint rules + the exhaustive scheduler and serve-lifecycle
+# model checks (DESIGN.md §13, §18). Runs first among the heavy stages: it
+# needs only the dependency-free symclust-check crate, so contract
+# violations fail fast.
 stage_check() {
   cargo run -q -p symclust-check -- lint
   cargo run -q -p symclust-check -- sched-model
+  cargo run -q -p symclust-check -- serve-model
 }
 stage_build() { cargo build --release; }
 # One workspace pass covers the tier-1 crates too; the old separate
@@ -135,6 +137,61 @@ stage_oom_matrix() {
         cargo test -q -p symclust-sparse -p symclust-core
     done
   done
+}
+
+# Sanitizer pass (DESIGN.md §18): ThreadSanitizer, then AddressSanitizer,
+# over the concurrency-heavy suites — the sparse scheduler / accumulator /
+# cancellation lib tests, the store crate, and the daemon end-to-end
+# suites (the daemon binary itself runs instrumented). Requires a nightly
+# toolchain (-Zsanitizer is unstable); skips cleanly when none is
+# installed — the GitHub job installs one, so CI always runs it.
+#
+# TSan runs under scripts/tsan.supp: against a prebuilt (uninstrumented)
+# standard library, std-internal synchronization — scoped-thread joins,
+# mpsc channels, condvars — is invisible to TSan, which then reports
+# false races whose every frame sits in std or test-harness code. The
+# suppressions are anchored on those frames; a real race in library code
+# carries symclust_* frames and still reports. When rust-src is
+# available, std is rebuilt instrumented (-Zbuild-std) and the
+# suppression file is inert belt-and-braces.
+SANITIZE_SUITES=(-p symclust-sparse -p symclust-store -p symclust-cli)
+sanitize_run() {
+  local name="$1" zflag="$2" tdir="$3"
+  shift 3
+  echo "--- $name"
+  # --tests: doctests are compiled by rustdoc, which does not see
+  # RUSTFLAGS and so cannot link the sanitized rlibs.
+  RUSTFLAGS="${RUSTFLAGS:-} -Z sanitizer=$zflag -C unsafe-allow-abi-mismatch=sanitizer" \
+    rustup run nightly cargo test -q --tests \
+    --target x86_64-unknown-linux-gnu --target-dir "target/$tdir" \
+    "$@" "${SANITIZE_SUITES[@]}"
+}
+stage_sanitize() {
+  if ! rustup run nightly cargo --version >/dev/null 2>&1; then
+    echo "sanitize: no nightly toolchain installed; stage skipped"
+    return 0
+  fi
+  local build_std=()
+  if [ -d "$(rustup run nightly rustc --print sysroot)/lib/rustlib/src/rust/library" ]; then
+    build_std=(-Zbuild-std)
+  fi
+  TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp" \
+    sanitize_run tsan thread tsan "${build_std[@]}"
+  sanitize_run asan address asan "${build_std[@]}"
+}
+# Miri gate (DESIGN.md §18): the curated concurrency-core subset — the
+# work-stealing scheduler, cancellation tokens, and SpGEMM accumulators —
+# runs as a *gating* check (it is minutes, not hours). The full-workspace
+# miri sweep stays a nightly allow-failure job in ci.yml. Skips cleanly
+# when the miri component is not installed locally.
+stage_miri() {
+  if ! rustup run nightly cargo miri --version >/dev/null 2>&1; then
+    echo "miri: component not installed; stage skipped"
+    return 0
+  fi
+  MIRIFLAGS="-Zmiri-strict-provenance" \
+    rustup run nightly cargo miri test -p symclust-sparse --lib \
+    sched:: cancel:: accum::
 }
 
 run_stage() {
